@@ -1,0 +1,116 @@
+// Ablation E — arbitration policy (the resource-sharing mechanisms surveyed
+// in the paper's related work: priority [7,8], TDMA [9], LRU, lottery [1]).
+//
+// Two views:
+//  1. full STBus platform + LMI: total execution time per policy — with a
+//     centralized memory bottleneck the policy moves the *distribution* of
+//     latency more than the total (guideline 4);
+//  2. per-master mean latency spread on a saturated many-to-one layer —
+//     fixed priority starves low-priority masters, LRU/RR equalise.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/rigs.hpp"
+#include "iptg/iptg.hpp"
+#include "mem/simple_memory.hpp"
+#include "stbus/node.hpp"
+
+using namespace mpsoc;
+
+namespace {
+
+void platformView() {
+  using platform::MemoryKind;
+  using platform::PlatformConfig;
+  using platform::Protocol;
+  using platform::Topology;
+
+  stats::TextTable t("Abl. E: arbitration policy, full STBus platform + LMI");
+  t.setHeader({"policy", "exec (us)", "mean read lat (ns)", "BW (MB/s)"});
+  for (auto pol : {txn::ArbPolicy::FixedPriority, txn::ArbPolicy::RoundRobin,
+                   txn::ArbPolicy::LeastRecentlyUsed, txn::ArbPolicy::Tdma,
+                   txn::ArbPolicy::Lottery}) {
+    PlatformConfig cfg;
+    cfg.protocol = Protocol::Stbus;
+    cfg.topology = Topology::Full;
+    cfg.memory = MemoryKind::Lmi;
+    cfg.arbitration = pol;
+    cfg.workload_scale = 0.5;
+    auto r = core::runScenario(cfg, txn::toString(pol));
+    t.addRow({r.label, stats::fmt(static_cast<double>(r.exec_ps) / 1e6, 2),
+              stats::fmt(r.mean_read_latency_ns, 1),
+              stats::fmt(r.bandwidth_mb_s, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+}
+
+void fairnessView() {
+  stats::TextTable t(
+      "Abl. E (cont.): per-master latency under saturation, many-to-one");
+  t.setHeader({"policy", "fastest master (ns)", "slowest master (ns)",
+               "spread (max/min)"});
+
+  for (auto pol : {txn::ArbPolicy::FixedPriority, txn::ArbPolicy::RoundRobin,
+                   txn::ArbPolicy::LeastRecentlyUsed, txn::ArbPolicy::Tdma,
+                   txn::ArbPolicy::Lottery}) {
+    sim::Simulator sim;
+    auto& clk = sim.addClockDomain("bus", 200.0);
+    stbus::StbusNodeConfig nc;
+    nc.arb = pol;
+    nc.message_arbitration = false;
+    stbus::StbusNode node(clk, "n", nc);
+    txn::TargetPort mp(clk, "mem", 4, 8);
+    node.addTarget(mp, 0, 1ull << 30);
+    mem::SimpleMemory memory(clk, "mem", mp, {1});
+
+    std::vector<std::unique_ptr<txn::InitiatorPort>> ports;
+    std::vector<std::unique_ptr<iptg::Iptg>> gens;
+    for (int i = 0; i < 4; ++i) {
+      ports.push_back(std::make_unique<txn::InitiatorPort>(
+          clk, "m" + std::to_string(i), 2, 8));
+      node.addInitiator(*ports.back());
+      iptg::IptgConfig icfg;
+      icfg.seed = 11 + i;
+      icfg.bytes_per_beat = 8;
+      iptg::AgentProfile p;
+      p.name = "a";
+      p.burst_beats = {{8, 1.0}};
+      p.outstanding = 4;
+      p.total_transactions = 400;
+      // Distinct priority labels: under FixedPriority, master 3 dominates.
+      p.priority = static_cast<std::uint8_t>(i);
+      p.base_addr = (1ull << 22) * i;
+      p.region_size = 1 << 20;
+      icfg.agents.push_back(p);
+      gens.push_back(std::make_unique<iptg::Iptg>(
+          clk, "g" + std::to_string(i), *ports.back(), icfg));
+    }
+    sim.runUntilIdle(1'000'000'000'000ull);
+
+    double lo = 1e18, hi = 0;
+    for (const auto& g : gens) {
+      const double m = g->latency().latencyNs().mean();
+      lo = std::min(lo, m);
+      hi = std::max(hi, m);
+    }
+    t.addRow({txn::toString(pol), stats::fmt(lo, 0), stats::fmt(hi, 0),
+              stats::fmt(hi / lo, 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected: fixed priority gives the widest spread (the "
+               "low-priority master\nstarves under contention); LRU and "
+               "round-robin equalise; TDMA sits between;\nlottery tracks its "
+               "ticket weights.  Total throughput barely moves — with a\n"
+               "centralized bottleneck, arbitration redistributes latency "
+               "(guideline 4,\nand [13] in the paper's related work).\n";
+}
+
+}  // namespace
+
+int main() {
+  platformView();
+  fairnessView();
+  return 0;
+}

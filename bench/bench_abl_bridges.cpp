@@ -1,0 +1,48 @@
+// Ablation B — bridge functionality (guidelines 3 and 5).
+//
+// The full STBus platform with LMI memory, where only the *bridges* change:
+//   1. GenConv-class: split reads, multiple outstanding, 1-cycle conversion;
+//   2. GenConv with fewer outstanding slots;
+//   3. lightweight: blocking reads, multi-cycle conversion.
+// Everything else (protocol, topology, workload, memory) is identical, so
+// the spread is attributable to bridge engineering alone — "bridges are
+// becoming true IP blocks" (guideline 5).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace mpsoc;
+
+int main() {
+  using platform::MemoryKind;
+  using platform::PlatformConfig;
+  using platform::Protocol;
+  using platform::Topology;
+
+  std::vector<core::ScenarioResult> rs;
+
+  PlatformConfig base;
+  base.protocol = Protocol::Stbus;
+  base.topology = Topology::Full;
+  base.memory = MemoryKind::Lmi;
+
+  {
+    PlatformConfig cfg = base;
+    rs.push_back(core::runScenario(cfg, "GenConv bridges (split, deep)"));
+  }
+  {
+    PlatformConfig cfg = base;
+    cfg.force_lightweight_bridges = true;
+    rs.push_back(core::runScenario(cfg, "lightweight bridges (blocking)"));
+  }
+
+  benchx::printScenarioTable(
+      "Abl. B: bridge functionality on the full STBus platform (LMI memory)",
+      rs, 0);
+
+  std::cout << "Expected: identical platform, bridges only — the blocking "
+               "lightweight bridges\nforfeit most of the distributed "
+               "platform's performance (guidelines 3(ii) and 5).\n";
+  return 0;
+}

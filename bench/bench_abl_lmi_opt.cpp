@@ -1,0 +1,47 @@
+// Ablation C — the LMI optimisation engine (guidelines 2 and 4).
+//
+// Full STBus platform on the LMI; the controller's variable-depth lookahead
+// and opcode merging toggle independently.  Reports execution time, row-hit
+// rate and merge ratio.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace mpsoc;
+
+int main() {
+  using platform::MemoryKind;
+  using platform::PlatformConfig;
+  using platform::Protocol;
+  using platform::Topology;
+
+  stats::TextTable t("Abl. C: LMI lookahead depth x opcode merging");
+  t.setHeader({"lookahead", "merging", "exec (us)", "row-hit rate",
+               "merge ratio", "bandwidth (MB/s)"});
+
+  for (unsigned la : {1u, 2u, 4u, 8u}) {
+    for (bool merge : {false, true}) {
+      PlatformConfig cfg;
+      cfg.protocol = Protocol::Stbus;
+      cfg.topology = Topology::Full;
+      cfg.memory = MemoryKind::Lmi;
+      cfg.lmi.lookahead = la;
+      cfg.lmi.opcode_merging = merge;
+      auto r = core::runScenario(cfg, "la" + std::to_string(la));
+      t.addRow({std::to_string(la), merge ? "on" : "off",
+                stats::fmt(static_cast<double>(r.exec_ps) / 1e6, 2),
+                stats::fmt(r.lmi_row_hit_rate, 3),
+                stats::fmt(r.lmi_merge_ratio, 3),
+                stats::fmt(r.bandwidth_mb_s, 1)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected: lookahead raises the row-hit rate, merging fuses "
+               "contiguous message\ntrains; both shorten execution — the "
+               "memory-controller optimisations the paper's\nsplit-capable "
+               "interconnects exist to feed (guidelines 2/4).\n";
+  std::cout << "\ncsv:\n";
+  t.printCsv(std::cout);
+  return 0;
+}

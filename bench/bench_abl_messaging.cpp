@@ -1,0 +1,58 @@
+// Ablation D — message-based arbitration (Section 3).
+//
+// "Messaging is a solution to generate memory controller-friendly traffic:
+// it ensures that a sequence of transactions that can be optimized by the
+// memory controller ... are kept together all the way to the controller and
+// are not interleaved with other transactions."
+//
+// The full STBus platform on the LMI runs with message arbitration on and
+// off; with it off, the nodes re-arbitrate packet by packet and the
+// controller sees interleaved streams.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace mpsoc;
+
+int main() {
+  using platform::MemoryKind;
+  using platform::PlatformConfig;
+  using platform::Protocol;
+  using platform::Topology;
+
+  stats::TextTable t(
+      "Abl. D: message vs packet arbitration x controller lookahead "
+      "(STBus + LMI)");
+  t.setHeader({"arbitration", "LMI lookahead", "exec (us)", "row-hit rate",
+               "merge ratio", "bandwidth (MB/s)"});
+
+  for (unsigned la : {1u, 4u}) {
+    for (bool messages : {true, false}) {
+      PlatformConfig cfg;
+      cfg.protocol = Protocol::Stbus;
+      cfg.topology = Topology::Full;
+      cfg.memory = MemoryKind::Lmi;
+      cfg.message_arbitration = messages;
+      cfg.lmi.lookahead = la;
+      auto r = core::runScenario(cfg, messages ? "message" : "packet");
+      t.addRow({messages ? "message-based" : "packet-based",
+                std::to_string(la),
+                stats::fmt(static_cast<double>(r.exec_ps) / 1e6, 2),
+                stats::fmt(r.lmi_row_hit_rate, 3),
+                stats::fmt(r.lmi_merge_ratio, 3),
+                stats::fmt(r.bandwidth_mb_s, 1)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nExpected: messaging keeps each IP's sequential trains "
+               "contiguous at the\ncontroller, which matters most when the "
+               "controller itself is simple (shallow\nlookahead): friendly "
+               "traffic substitutes for controller complexity.  A deep\n"
+               "lookahead engine can reconstruct locality on its own, so the "
+               "gap narrows —\nexactly the complementarity Section 3 "
+               "describes.\n";
+  std::cout << "\ncsv:\n";
+  t.printCsv(std::cout);
+  return 0;
+}

@@ -1,0 +1,37 @@
+#pragma once
+// Shared helpers for the experiment harnesses: one binary per paper
+// figure/table, each printing the rows/series the paper reports plus a CSV
+// block for plotting.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "stats/report.hpp"
+
+namespace mpsoc::benchx {
+
+inline void printScenarioTable(const std::string& title,
+                               const std::vector<core::ScenarioResult>& rs,
+                               std::size_t normalize_to = 0) {
+  stats::TextTable t(title);
+  t.setHeader({"instance", "exec (us)", "normalized", "bandwidth (MB/s)",
+               "read lat (ns)", "retired", "done"});
+  const double ref =
+      rs.empty() ? 1.0
+                 : static_cast<double>(rs[normalize_to].exec_ps);
+  for (const auto& r : rs) {
+    t.addRow({r.label, stats::fmt(static_cast<double>(r.exec_ps) / 1e6, 2),
+              stats::fmt(static_cast<double>(r.exec_ps) / ref, 3),
+              stats::fmt(r.bandwidth_mb_s, 1),
+              stats::fmt(r.mean_read_latency_ns, 1),
+              std::to_string(r.retired), r.completed ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << "\ncsv:\n";
+  t.printCsv(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace mpsoc::benchx

@@ -1,0 +1,48 @@
+// Figure 3 — "Performance of MPSoC platform instances".
+//
+// Normalised execution time of the platform variants with the simple memory
+// controller driving an on-chip shared memory with 1 wait state:
+//
+//   collapsed AXI  ~=  collapsed STBus  ~=  single-layer STBus ~= full STBus
+//   full AHB ineffective (blocking AHB-AHB bridges)
+//   distributed (full) AXI ~= full AHB (lightweight bridges nullify AXI)
+//
+// Paper reference points: the first four bars are within a few percent of
+// each other; the AHB and lightweight-AXI bars are far taller.
+
+#include "bench_common.hpp"
+
+using namespace mpsoc;
+
+int main() {
+  using platform::MemoryKind;
+  using platform::PlatformConfig;
+  using platform::Protocol;
+  using platform::Topology;
+
+  PlatformConfig base;
+  base.memory = MemoryKind::OnChip;
+  base.onchip_wait_states = 1;
+  base.workload_scale = 1.0;
+
+  std::vector<core::ScenarioResult> rs;
+
+  auto run = [&](Protocol p, Topology t, const std::string& label) {
+    PlatformConfig cfg = base;
+    cfg.protocol = p;
+    cfg.topology = t;
+    rs.push_back(core::runScenario(cfg, label));
+  };
+
+  run(Protocol::Axi, Topology::Collapsed, "collapsed AXI");
+  run(Protocol::Stbus, Topology::Collapsed, "collapsed STBus");
+  run(Protocol::Stbus, Topology::SingleLayer, "single-layer STBus");
+  run(Protocol::Stbus, Topology::Full, "full STBus");
+  run(Protocol::Ahb, Topology::Full, "full AHB");
+  run(Protocol::Axi, Topology::Full, "full AXI (lightweight bridges)");
+
+  benchx::printScenarioTable(
+      "Fig. 3: platform instances, on-chip memory (1 wait state)", rs,
+      /*normalize_to=*/1);
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Outlook — guideline 5's closing question: "whether it is really worth
+// increasing bridge complexity, instead of keeping lightweight bridges for
+// path segmentation ... and pushing complexity at the system interconnect
+// boundaries, which is known as the network-on-chip solution".
+//
+// Three fabrics move the identical workload (8 masters -> 1 LMI DDR):
+//   1. multi-layer STBus with optimised GenConv bridges (the paper's best);
+//   2. the same layers with lightweight *blocking* bridges (the paper's
+//      cautionary tale);
+//   3. a 3x3 mesh NoC with the memory at the centre — segmentation with
+//      non-blocking, split-by-construction transport at every hop.
+//
+// All fabrics run at the same clock so the comparison isolates topology and
+// transaction discipline (a real NoC would additionally clock faster).
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "bridge/bridge.hpp"
+#include "iptg/iptg.hpp"
+#include "mem/lmi_controller.hpp"
+#include "noc/mesh.hpp"
+#include "stbus/node.hpp"
+
+using namespace mpsoc;
+
+namespace {
+
+constexpr std::uint64_t kTxns = 400;
+constexpr std::size_t kMasters = 8;
+
+iptg::IptgConfig masterCfg(std::size_t i) {
+  iptg::IptgConfig cfg;
+  cfg.seed = 23 + i;
+  cfg.bytes_per_beat = 8;
+  iptg::AgentProfile p;
+  p.name = "a";
+  p.read_fraction = 0.7;
+  p.burst_beats = {{16, 0.5}, {8, 0.5}};
+  p.base_addr = (1ull << 22) * i;
+  p.region_size = 1 << 20;
+  p.outstanding = 8;
+  p.message_len = 4;
+  p.total_transactions = kTxns;
+  cfg.agents.push_back(p);
+  return cfg;
+}
+
+struct Result {
+  std::string label;
+  double exec_us;
+  double mean_lat_ns;
+  double merge_ratio = 0.0;
+  double row_hit = 0.0;
+};
+
+Result runBusFabric(bool genconv) {
+  sim::Simulator sim;
+  auto& clk = sim.addClockDomain("bus", 250.0);
+
+  stbus::StbusNode central(clk, "n8", {});
+  txn::TargetPort mport(clk, "lmi", 8, 16);
+  central.addTarget(mport, 0x0, 1ull << 30);
+  mem::LmiController lmi(clk, "lmi", mport, {});
+
+  // Two cluster layers of four masters each, joined by bridges.
+  std::vector<std::unique_ptr<stbus::StbusNode>> clusters;
+  std::vector<std::unique_ptr<bridge::Bridge>> bridges;
+  std::vector<std::unique_ptr<txn::InitiatorPort>> ports;
+  std::vector<std::unique_ptr<iptg::Iptg>> gens;
+  for (int c = 0; c < 2; ++c) {
+    clusters.push_back(std::make_unique<stbus::StbusNode>(
+        clk, "n" + std::to_string(c), stbus::StbusNodeConfig{}));
+    bridges.push_back(std::make_unique<bridge::Bridge>(
+        clk, clk, "br" + std::to_string(c),
+        genconv ? bridge::genConvConfig(8, 8)
+                : bridge::lightweightBridgeConfig(8, 8)));
+    clusters[c]->addTarget(bridges[c]->slavePort(), 0x0, 1ull << 30);
+    central.addInitiator(bridges[c]->masterPort());
+    for (int m = 0; m < 4; ++m) {
+      const std::size_t i = static_cast<std::size_t>(c) * 4 + m;
+      ports.push_back(std::make_unique<txn::InitiatorPort>(
+          clk, "m" + std::to_string(i), 2, 8));
+      clusters[c]->addInitiator(*ports.back());
+      gens.push_back(std::make_unique<iptg::Iptg>(
+          clk, "g" + std::to_string(i), *ports.back(), masterCfg(i)));
+    }
+  }
+
+  const sim::Picos t = sim.runUntilIdle(1'000'000'000'000ull);
+  double lat = 0;
+  std::uint64_t n = 0;
+  for (const auto& g : gens) {
+    lat += g->latency().latencyNs().sum();
+    n += g->latency().latencyNs().count();
+  }
+  return {genconv ? "2-layer STBus, GenConv bridges"
+                  : "2-layer STBus, lightweight bridges",
+          static_cast<double>(t) / 1e6, n ? lat / static_cast<double>(n) : 0,
+          lmi.mergeRatio(), lmi.device().rowHitRate()};
+}
+
+Result runNocFabric(bool message_locking) {
+  sim::Simulator sim;
+  auto& clk = sim.addClockDomain("noc", 250.0);
+
+  noc::MeshConfig mc{3, 3, {}, 4};
+  mc.router.message_locking = message_locking;
+  noc::NocMesh mesh(clk, "noc", mc);
+  txn::TargetPort mport(clk, "lmi", 8, 16);
+  mem::LmiController lmi(clk, "lmi", mport, {});
+  mesh.attachSlave(mport, mesh.node(1, 1), 0x0, 1ull << 30);
+
+  // Masters at the eight periphery nodes.
+  const noc::NodeId spots[kMasters] = {0, 1, 2, 3, 5, 6, 7, 8};
+  std::vector<std::unique_ptr<txn::InitiatorPort>> ports;
+  std::vector<std::unique_ptr<iptg::Iptg>> gens;
+  for (std::size_t i = 0; i < kMasters; ++i) {
+    ports.push_back(std::make_unique<txn::InitiatorPort>(
+        clk, "m" + std::to_string(i), 2, 8));
+    mesh.attachMaster(*ports.back(), spots[i]);
+    gens.push_back(std::make_unique<iptg::Iptg>(
+        clk, "g" + std::to_string(i), *ports.back(), masterCfg(i)));
+  }
+
+  const sim::Picos t = sim.runUntilIdle(1'000'000'000'000ull);
+  double lat = 0;
+  std::uint64_t n = 0;
+  for (const auto& g : gens) {
+    lat += g->latency().latencyNs().sum();
+    n += g->latency().latencyNs().count();
+  }
+  return {message_locking ? "3x3 mesh NoC, message-locking routers"
+                          : "3x3 mesh NoC, plain round-robin routers",
+          static_cast<double>(t) / 1e6, n ? lat / static_cast<double>(n) : 0,
+          lmi.mergeRatio(), lmi.device().rowHitRate()};
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Result> rs;
+  rs.push_back(runBusFabric(/*genconv=*/true));
+  rs.push_back(runBusFabric(/*genconv=*/false));
+  rs.push_back(runNocFabric(/*message_locking=*/false));
+  rs.push_back(runNocFabric(/*message_locking=*/true));
+
+  stats::TextTable t("Outlook: bridged multi-layer bus vs network-on-chip "
+                     "(8 masters -> 1 LMI DDR)");
+  t.setHeader({"fabric", "exec (us)", "vs GenConv", "mean read lat (ns)",
+               "LMI merge", "LMI row-hit"});
+  for (const auto& r : rs) {
+    t.addRow({r.label, stats::fmt(r.exec_us, 1),
+              stats::fmt(r.exec_us / rs[0].exec_us, 3),
+              stats::fmt(r.mean_lat_ns, 1), stats::fmt(r.merge_ratio, 2),
+              stats::fmt(r.row_hit, 3)});
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nReading: a plain round-robin NoC provides split, non-blocking "
+         "segmentation —\nyet lands near the *lightweight-bridge* fabric, "
+         "because its routers interleave\npackets freely and destroy the "
+         "message trains the memory controller feeds on\n(merge ratio "
+         "collapses to ~1, row-hit rate halves).  Adding message-locking\n"
+         "arbitration to the routers — the NoC counterpart of STBus "
+         "messaging — restores\ncontroller-friendly traffic and closes most "
+         "of the gap to the GenConv fabric.\nThe paper's guidelines 4/5 "
+         "compose: segmentation alone is not enough; whoever\nowns the "
+         "fabric must also preserve memory-controller-friendly traffic.\n";
+  std::cout << "\ncsv:\n";
+  t.printCsv(std::cout);
+  return 0;
+}

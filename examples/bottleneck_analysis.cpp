@@ -1,0 +1,55 @@
+// Guideline 6 in action: discriminate "the memory controller is slow" from
+// "the interconnect cannot feed it" using the fine-grain statistics at the
+// LMI bus interface — without touching the IPs or the application.
+//
+//   $ ./examples/bottleneck_analysis
+//
+// Runs three configurations of the same platform and workload:
+//   1. full STBus + fast DDR      -> balanced / interconnect-limited
+//   2. full STBus + slow DDR      -> memory-controller-limited
+//   3. full AHB   + fast DDR      -> interconnect-limited (starved FIFO)
+
+#include <iostream>
+
+#include "core/analysis.hpp"
+#include "core/experiment.hpp"
+#include "stats/report.hpp"
+
+using namespace mpsoc;
+
+namespace {
+
+void analyse(platform::Protocol proto, unsigned divider,
+             const std::string& label) {
+  platform::PlatformConfig cfg;
+  cfg.protocol = proto;
+  cfg.topology = platform::Topology::Full;
+  cfg.memory = platform::MemoryKind::Lmi;
+  cfg.lmi.clock_divider = divider;
+  cfg.workload_scale = 0.5;
+  auto r = core::runScenario(cfg, label);
+
+  const auto& b = r.mem_fifo_total;
+  std::cout << "== " << label << " ==\n";
+  std::cout << "  exec " << stats::fmt(static_cast<double>(r.exec_ps) / 1e6, 1)
+            << " us, delivered " << stats::fmt(r.bandwidth_mb_s, 0)
+            << " MB/s\n";
+  std::cout << "  LMI FIFO: full " << stats::fmtPct(b.frac_full)
+            << ", storing " << stats::fmtPct(b.frac_storing)
+            << ", no-request " << stats::fmtPct(b.frac_no_request)
+            << ", empty " << stats::fmtPct(b.frac_empty) << "\n";
+  const auto verdict = core::classifyBottleneck(b);
+  std::cout << "  verdict: " << verdict.rationale << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  analyse(platform::Protocol::Stbus, 2, "full STBus, DDR-250-class device");
+  analyse(platform::Protocol::Stbus, 4, "full STBus, half-speed DDR device");
+  analyse(platform::Protocol::Ahb, 2, "full AHB, DDR-250-class device");
+  std::cout << "Same I/O-side symptom (low delivered bandwidth) — two "
+               "different causes,\nseparated purely by the memory-interface "
+               "FIFO statistics (guideline 6).\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Memory-subsystem design aid: explore the LMI/DDR configuration space for
+// the reference workload — device speed grade, CAS latency, bank count and
+// input-FIFO depth — the "memory controllers with increasing complexity"
+// axis of the paper's exploration.
+//
+//   $ ./examples/ddr_tuning
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "stats/report.hpp"
+
+using namespace mpsoc;
+
+namespace {
+
+core::ScenarioResult runWith(const mem::LmiConfig& lmi,
+                             std::size_t fifo_depth, std::string label) {
+  platform::PlatformConfig cfg;
+  cfg.protocol = platform::Protocol::Stbus;
+  cfg.topology = platform::Topology::Full;
+  cfg.memory = platform::MemoryKind::Lmi;
+  cfg.lmi = lmi;
+  cfg.mem_fifo_depth = fifo_depth;
+  cfg.workload_scale = 0.5;
+  return core::runScenario(cfg, std::move(label));
+}
+
+void printRows(stats::TextTable& t, const core::ScenarioResult& r) {
+  t.addRow({r.label, stats::fmt(static_cast<double>(r.exec_ps) / 1e6, 1),
+            stats::fmt(r.bandwidth_mb_s, 1),
+            stats::fmt(r.lmi_row_hit_rate, 3),
+            stats::fmt(r.lmi_merge_ratio, 2),
+            stats::fmt(r.mean_read_latency_ns, 0)});
+}
+
+}  // namespace
+
+int main() {
+  stats::TextTable t1("DDR speed grade (bus-clock divider)");
+  t1.setHeader({"config", "exec (us)", "BW (MB/s)", "row-hit", "merge",
+                "read lat (ns)"});
+  for (unsigned div : {2u, 3u, 4u}) {
+    mem::LmiConfig lmi;
+    lmi.clock_divider = div;
+    printRows(t1, runWith(lmi, 8, "divider " + std::to_string(div)));
+  }
+  t1.print(std::cout);
+  std::cout << "\n";
+
+  stats::TextTable t2("CAS latency / tRCD / tRP (DDR timing grade)");
+  t2.setHeader({"config", "exec (us)", "BW (MB/s)", "row-hit", "merge",
+                "read lat (ns)"});
+  for (unsigned cl : {2u, 3u, 5u}) {
+    mem::LmiConfig lmi;
+    lmi.timing.cas_latency = cl;
+    lmi.timing.t_rcd = cl;
+    lmi.timing.t_rp = cl;
+    printRows(t2, runWith(lmi, 8, "CL" + std::to_string(cl)));
+  }
+  t2.print(std::cout);
+  std::cout << "\n";
+
+  stats::TextTable t3("Bank count (row-conflict exposure)");
+  t3.setHeader({"config", "exec (us)", "BW (MB/s)", "row-hit", "merge",
+                "read lat (ns)"});
+  for (unsigned banks : {1u, 2u, 4u, 8u}) {
+    mem::LmiConfig lmi;
+    lmi.geometry.banks = banks;
+    printRows(t3, runWith(lmi, 8, std::to_string(banks) + " banks"));
+  }
+  t3.print(std::cout);
+  std::cout << "\n";
+
+  stats::TextTable t4("Interface input-FIFO depth (Fig. 6 FIFO)");
+  t4.setHeader({"config", "exec (us)", "BW (MB/s)", "row-hit", "merge",
+                "read lat (ns)"});
+  for (std::size_t depth : {1u, 2u, 4u, 8u, 16u}) {
+    mem::LmiConfig lmi;
+    printRows(t4, runWith(lmi, depth, "depth " + std::to_string(depth)));
+  }
+  t4.print(std::cout);
+
+  std::cout << "\nReading: the divider (device speed) dominates; timing grade "
+               "and banks trade\nrow-conflict penalties; a deep input FIFO is "
+               "what gives lookahead and merging\ntheir window (depth 1 "
+               "disables the optimisation engine in practice).\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Quickstart: build a small memory-centric system from library primitives —
+// three traffic generators on an STBus crossbar in front of a 1-wait-state
+// on-chip memory — run it to completion, and read the statistics.
+//
+//   $ ./examples/quickstart
+//
+// This is the minimal end-to-end tour of the public API: clock domains,
+// ports, an interconnect engine, a memory model, IPTG traffic and probes.
+
+#include <iostream>
+
+#include "iptg/iptg.hpp"
+#include "mem/simple_memory.hpp"
+#include "sim/simulator.hpp"
+#include "stats/probes.hpp"
+#include "stats/report.hpp"
+#include "stbus/node.hpp"
+#include "txn/ports.hpp"
+
+using namespace mpsoc;
+
+int main() {
+  // 1. A simulator and one 200 MHz clock domain.
+  sim::Simulator sim;
+  auto& clk = sim.addClockDomain("bus", 200.0);
+
+  // 2. An STBus Type-3 crossbar node.
+  stbus::StbusNodeConfig node_cfg;
+  node_cfg.type = stbus::StbusType::T3;
+  stbus::StbusNode node(clk, "n0", node_cfg);
+
+  // 3. A shared on-chip memory with 1 wait state behind a 4-deep prefetch
+  //    FIFO, decoding the whole 1 GiB space.
+  txn::TargetPort mem_port(clk, "mem", /*req_depth=*/4, /*rsp_depth=*/8);
+  node.addTarget(mem_port, 0x0000'0000, 1ull << 30);
+  mem::SimpleMemory memory(clk, "sram", mem_port,
+                           mem::SimpleMemoryConfig{/*wait_states=*/1});
+
+  // 4. Watch the memory's request FIFO (full / storing / no-request).
+  stats::FifoStateProbe fifo_probe;
+  fifo_probe.attach(mem_port.req);
+
+  // 5. Three traffic generators: a video reader, a capture writer, and a
+  //    mixed DMA engine.  Each issues 500 transactions.
+  std::vector<std::unique_ptr<txn::InitiatorPort>> ports;
+  std::vector<std::unique_ptr<iptg::Iptg>> gens;
+  auto add_iptg = [&](const std::string& name, double read_fraction,
+                      bool posted, std::uint64_t base) {
+    ports.push_back(std::make_unique<txn::InitiatorPort>(clk, name, 2, 8));
+    node.addInitiator(*ports.back());
+    iptg::IptgConfig cfg;
+    cfg.bytes_per_beat = 8;
+    iptg::AgentProfile a;
+    a.name = "main";
+    a.read_fraction = read_fraction;
+    a.posted_writes = posted;
+    a.burst_beats = {{8, 0.7}, {16, 0.3}};
+    a.base_addr = base;
+    a.region_size = 1 << 20;
+    a.outstanding = 4;
+    a.message_len = 4;
+    a.total_transactions = 500;
+    cfg.agents.push_back(a);
+    gens.push_back(
+        std::make_unique<iptg::Iptg>(clk, name, *ports.back(), cfg));
+  };
+  add_iptg("video_out", 1.0, false, 0x0000'0000);
+  add_iptg("video_in", 0.0, true, 0x0100'0000);
+  add_iptg("dma", 0.5, true, 0x0200'0000);
+
+  // 6. Run until every generator is done and the pipeline drains.
+  const sim::Picos exec_ps = sim.runUntilIdle(/*max=*/1'000'000'000'000ull);
+  sim.finish();
+
+  // 7. Report.
+  stats::TextTable t("quickstart: 3 masters -> STBus crossbar -> 1WS SRAM");
+  t.setHeader({"master", "issued", "retired", "bytes", "mean latency (ns)"});
+  for (const auto& g : gens) {
+    t.addRow({g->name(), std::to_string(g->issued()),
+              std::to_string(g->retired()),
+              std::to_string(g->bytesRead() + g->bytesWritten()),
+              stats::fmt(g->latency().latencyNs().mean(), 1)});
+  }
+  t.print(std::cout);
+
+  const double cycles = static_cast<double>(clk.now());
+  std::cout << "\nexecution time: " << static_cast<double>(exec_ps) / 1e6
+            << " us (" << clk.now() << " bus cycles)\n";
+  std::cout << "response-channel efficiency: ";
+  std::uint64_t transfers = 0;
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    transfers += node.rspChannel(i).transfers();
+  }
+  std::cout << stats::fmt(static_cast<double>(transfers) / cycles, 3)
+            << "  (a 1-wait-state memory pins this at ~0.5 under read-heavy "
+               "load)\n";
+  const auto& b = fifo_probe.total();
+  std::cout << "memory FIFO: full " << stats::fmtPct(b.fracFull())
+            << ", storing " << stats::fmtPct(b.fracStoring())
+            << ", no-request " << stats::fmtPct(b.fracNoRequest()) << "\n";
+  return 0;
+}

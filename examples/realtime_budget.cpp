@@ -1,0 +1,79 @@
+// Real-time budget check: the set-top-box question behind the paper's
+// motivation — does the display pipeline still meet its service budget when
+// the rest of the platform hammers the same off-chip memory?
+//
+//   $ ./examples/realtime_budget
+//
+// For each platform variant, runs the reference workload and grades the
+// `video_out` IP against a bandwidth floor and a p95 read-latency ceiling.
+
+#include <iostream>
+
+#include "platform/platform.hpp"
+#include "stats/report.hpp"
+
+using namespace mpsoc;
+
+namespace {
+
+struct Budget {
+  double min_mb_s;
+  double max_p95_ns;
+};
+
+void grade(platform::Protocol proto, bool lightweight, const Budget& budget) {
+  platform::PlatformConfig cfg;
+  cfg.protocol = proto;
+  cfg.topology = platform::Topology::Full;
+  cfg.memory = platform::MemoryKind::Lmi;
+  cfg.force_lightweight_bridges = lightweight;
+  platform::Platform p(cfg);
+  const sim::Picos t = p.run();
+
+  // Find the display IP among the traffic generators.
+  const iptg::Iptg* display = nullptr;
+  for (const auto& g : p.traffic()) {
+    if (g->name() == "video_out") display = g.get();
+  }
+  if (!display) {
+    std::cout << "video_out not present in this configuration\n";
+    return;
+  }
+  const double mb_s = static_cast<double>(display->bytesRead() +
+                                          display->bytesWritten()) /
+                      static_cast<double>(t) * 1.0e6;
+  const double p95 = display->latency().quantileNs(0.95);
+  const bool bw_ok = mb_s >= budget.min_mb_s;
+  const bool lat_ok = p95 <= budget.max_p95_ns;
+
+  std::string label = platform::toString(proto);
+  if (lightweight) label += " (lightweight bridges)";
+  std::cout << label << ": video_out " << stats::fmt(mb_s, 1) << " MB/s (need "
+            << stats::fmt(budget.min_mb_s, 0) << "), p95 read latency "
+            << stats::fmt(p95, 0) << " ns (cap "
+            << stats::fmt(budget.max_p95_ns, 0) << ") -> "
+            << ((bw_ok && lat_ok) ? "PASS" : "FAIL")
+            << (bw_ok ? "" : " [bandwidth]") << (lat_ok ? "" : " [latency]")
+            << "\n";
+}
+
+}  // namespace
+
+int main() {
+  // A display stream needs sustained throughput and a bounded tail: values
+  // chosen so the reference STBus platform passes with margin and the
+  // degraded fabrics expose their weakness.
+  const Budget budget{250.0, 8'000.0};
+
+  std::cout << "display budget: >= " << stats::fmt(budget.min_mb_s, 0)
+            << " MB/s sustained, p95 read latency <= "
+            << stats::fmt(budget.max_p95_ns, 0) << " ns\n\n";
+  grade(platform::Protocol::Stbus, false, budget);
+  grade(platform::Protocol::Stbus, true, budget);
+  grade(platform::Protocol::Axi, false, budget);
+  grade(platform::Protocol::Ahb, false, budget);
+  std::cout << "\nThe same IP, the same memory — whether the display holds "
+               "its budget is decided\nentirely by the interconnect and "
+               "bridge engineering (guidelines 3/5).\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Set-top-box platform study: instantiate the full Fig. 1 reference platform
+// (video decode pipeline, AV I/O cluster, DMA cluster, ST220 DSP, LMI DDR
+// SDRAM) and compare the shipping STBus configuration against an AHB
+// what-if — the decision the paper's virtual platform exists to inform.
+//
+//   $ ./examples/settopbox
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "stats/report.hpp"
+
+using namespace mpsoc;
+
+int main() {
+  using platform::MemoryKind;
+  using platform::PlatformConfig;
+  using platform::Protocol;
+  using platform::Topology;
+
+  PlatformConfig cfg;
+  cfg.topology = Topology::Full;
+  cfg.memory = MemoryKind::Lmi;
+
+  std::cout << "Running the STBus reference platform (multi-layer, GenConv "
+               "bridges, LMI DDR)...\n";
+  cfg.protocol = Protocol::Stbus;
+  auto stbus = core::runScenario(cfg, "STBus reference");
+
+  std::cout << "Running the AHB what-if (same IPs, same memory)...\n";
+  cfg.protocol = Protocol::Ahb;
+  auto ahb = core::runScenario(cfg, "AHB what-if");
+
+  stats::TextTable t("set-top-box platform: STBus reference vs AHB what-if");
+  t.setHeader({"platform", "exec (ms)", "bandwidth (MB/s)", "read lat (ns)",
+               "LMI row-hit", "LMI merge", "DSP CPI"});
+  for (const auto* r : {&stbus, &ahb}) {
+    t.addRow({r->label, stats::fmt(static_cast<double>(r->exec_ps) / 1e9, 3),
+              stats::fmt(r->bandwidth_mb_s, 1),
+              stats::fmt(r->mean_read_latency_ns, 1),
+              stats::fmt(r->lmi_row_hit_rate, 3),
+              stats::fmt(r->lmi_merge_ratio, 2), stats::fmt(r->cpu_cpi, 2)});
+  }
+  t.print(std::cout);
+
+  const double slowdown = static_cast<double>(ahb.exec_ps) /
+                          static_cast<double>(stbus.exec_ps);
+  std::cout << "\nThe AHB platform is " << stats::fmt(slowdown, 2)
+            << "x slower on the same workload: non-split layers and blocking\n"
+               "bridges leave the DDR controller starved (see "
+               "examples/bottleneck_analysis).\n";
+  return 0;
+}

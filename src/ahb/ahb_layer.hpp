@@ -1,0 +1,60 @@
+#pragma once
+// AMBA AHB layer model.
+//
+// A single shared communication channel: two unidirectional data paths (read
+// and write) of which only one can be active at any time, pipelined
+// address/data phases, bursts to amortise arbitration, non-posted writes.
+// As in the paper's model, *split transactions are not implemented*: from
+// grant to the last response beat the layer is owned by one transaction, and
+// slave wait states surface as idle bus cycles.  Arbitration handover is
+// hidden (HGRANT switches while the penultimate beat completes), so
+// back-to-back bursts lose no cycles — which is why AHB matches the advanced
+// protocols in the single-layer many-to-one scenario (Section 4.1.2) and
+// falls apart in multi-layer systems where its non-split semantics keep the
+// source layer locked across bridge round trips (Section 4.2).
+
+#include <cstdint>
+
+#include "stats/probes.hpp"
+#include "txn/arbiter.hpp"
+#include "txn/interconnect.hpp"
+
+namespace mpsoc::ahb {
+
+struct AhbLayerConfig {
+  txn::ArbPolicy arb = txn::ArbPolicy::FixedPriority;
+};
+
+class AhbLayer final : public txn::InterconnectBase {
+ public:
+  AhbLayer(sim::ClockDomain& clk, std::string name, AhbLayerConfig cfg = {});
+
+  void evaluate() override;
+  bool idle() const override;
+
+  /// The single shared channel (address + both data paths).
+  const stats::ChannelUtilization& channel() const { return chan_; }
+
+ private:
+  enum class State : std::uint8_t {
+    Idle,          ///< no transaction owns the layer
+    WriteData,     ///< streaming write data beats master -> slave
+    WaitResponse,  ///< request at the slave; waiting for its response
+    Stream,        ///< streaming read data / write ack back to the master
+  };
+
+  void arbitrate();
+  void advance();
+
+  AhbLayerConfig cfg_;
+  txn::Arbiter arb_;
+  State state_ = State::Idle;
+  txn::RequestPtr active_;
+  std::size_t active_ini_ = 0;
+  std::size_t active_tgt_ = 0;
+  std::uint32_t wdata_left_ = 0;
+  RspStream stream_;
+  stats::ChannelUtilization chan_;
+};
+
+}  // namespace mpsoc::ahb

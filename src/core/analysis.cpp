@@ -1,0 +1,57 @@
+#include "core/analysis.hpp"
+
+#include <sstream>
+
+#include "stats/report.hpp"
+
+namespace mpsoc::core {
+
+BottleneckVerdict classifyBottleneck(const FifoBuckets& b) {
+  std::ostringstream why;
+  if (b.frac_full >= 0.25) {
+    why << "input FIFO full " << stats::fmtPct(b.frac_full)
+        << " of the time: the memory controller limits throughput; the "
+           "interconnect keeps it saturated";
+    return {Bottleneck::MemoryController, why.str()};
+  }
+  if (b.frac_full < 0.02 && b.frac_no_request >= 0.9) {
+    why << "input FIFO never fills (" << stats::fmtPct(b.frac_full)
+        << ") and sees no incoming request " << stats::fmtPct(b.frac_no_request)
+        << " of the time: the system interconnect is the bottleneck, not the "
+           "memory controller";
+    return {Bottleneck::Interconnect, why.str()};
+  }
+  if (b.frac_empty >= 0.7) {
+    why << "FIFO empty " << stats::fmtPct(b.frac_empty)
+        << " of the time: offered load is light";
+    return {Bottleneck::LightLoad, why.str()};
+  }
+  why << "FIFO neither saturated (" << stats::fmtPct(b.frac_full)
+      << " full) nor starved (" << stats::fmtPct(b.frac_no_request)
+      << " no-request): traffic is intensive and handled well";
+  return {Bottleneck::Balanced, why.str()};
+}
+
+std::string compareRegimes(const FifoBuckets& p1, const FifoBuckets& p2) {
+  std::ostringstream os;
+  os << "phase1: full " << stats::fmtPct(p1.frac_full) << ", storing "
+     << stats::fmtPct(p1.frac_storing) << ", no-request "
+     << stats::fmtPct(p1.frac_no_request) << ", empty "
+     << stats::fmtPct(p1.frac_empty) << "; phase2: full "
+     << stats::fmtPct(p2.frac_full) << ", storing "
+     << stats::fmtPct(p2.frac_storing) << ", no-request "
+     << stats::fmtPct(p2.frac_no_request) << ", empty "
+     << stats::fmtPct(p2.frac_empty) << ". ";
+  if (p2.frac_empty > p1.frac_empty + 0.02 &&
+      p2.frac_full >= p1.frac_full * 0.5) {
+    os << "The second regime has a lower average intensity (FIFO empty more "
+          "often) but remains bursty (the FIFO still fills during trains).";
+  } else if (p2.frac_full > p1.frac_full + 0.05) {
+    os << "The second regime is more intense: the FIFO saturates more often.";
+  } else {
+    os << "The two regimes load the memory interface similarly.";
+  }
+  return os.str();
+}
+
+}  // namespace mpsoc::core

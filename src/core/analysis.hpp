@@ -1,0 +1,35 @@
+#pragma once
+// Fine-grain bottleneck discrimination (Section 5 / guideline 6): given the
+// cycle classification of the memory-interface request FIFO, decide whether
+// low observed bandwidth is the memory controller's fault or the system
+// interconnect's.
+
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace mpsoc::core {
+
+enum class Bottleneck {
+  MemoryController,  ///< FIFO frequently full: the controller can't drain it
+  Interconnect,      ///< FIFO starved (never full, mostly no-request)
+  Balanced,          ///< intensive traffic, handled well
+  LightLoad,         ///< FIFO mostly empty and rarely written
+};
+
+struct BottleneckVerdict {
+  Bottleneck kind;
+  std::string rationale;
+};
+
+/// Thresholds mirror the paper's reading of Fig. 6: 47% full => memory-bound
+/// working regime handled "pretty well"; never-full + 98% no-request =>
+/// "the system interconnect is the performance bottleneck, and not the
+/// memory controller".
+BottleneckVerdict classifyBottleneck(const FifoBuckets& b);
+
+/// Compare two working regimes of the same platform (the Fig. 6 commentary):
+/// returns a human-readable characterisation of how the traffic changed.
+std::string compareRegimes(const FifoBuckets& phase1, const FifoBuckets& phase2);
+
+}  // namespace mpsoc::core

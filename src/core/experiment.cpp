@@ -1,0 +1,79 @@
+#include "core/experiment.hpp"
+
+namespace mpsoc::core {
+
+namespace {
+
+FifoBuckets flatten(const std::string& name,
+                    const stats::FifoStateProbe::Buckets& b) {
+  FifoBuckets out;
+  out.phase = name;
+  out.frac_full = b.fracFull();
+  out.frac_storing = b.fracStoring();
+  out.frac_no_request = b.fracNoRequest();
+  out.frac_empty = b.fracEmpty();
+  out.mean_occupancy = b.occupancy.mean();
+  return out;
+}
+
+ScenarioResult harvest(platform::Platform& p, std::string label,
+                       sim::Picos exec_ps) {
+  ScenarioResult r;
+  r.label = std::move(label);
+  r.exec_ps = exec_ps;
+  r.completed = p.allDone();
+
+  const auto t = p.totals();
+  r.retired = t.retired;
+  r.bytes_total = t.bytes_read + t.bytes_written;
+  r.mean_read_latency_ns = t.mean_read_latency_ns;
+  r.p95_read_latency_ns = p.readLatencyQuantileNs(0.95);
+  if (exec_ps > 0) {
+    // bytes / ps -> MB/s:  B/ps * 1e12 ps/s / 1e6 = B*1e6
+    r.bandwidth_mb_s = static_cast<double>(r.bytes_total) /
+                       static_cast<double>(exec_ps) * 1.0e6;
+  }
+
+  if (p.lmi()) {
+    r.lmi_row_hit_rate = p.lmi()->device().rowHitRate();
+    r.lmi_merge_ratio = p.lmi()->mergeRatio();
+    r.lmi_refreshes = p.lmi()->device().refreshes();
+  }
+  r.mem_fifo_total = flatten("total", p.memFifo().total());
+  for (std::size_t i = 0; i < p.memFifo().phaseCount(); ++i) {
+    r.mem_fifo_phases.push_back(
+        flatten(p.phaseSchedule().phase(i).name, p.memFifo().phase(i)));
+  }
+  if (p.dsp()) r.cpu_cpi = p.dsp()->cpi();
+  return r;
+}
+
+}  // namespace
+
+ScenarioResult runScenario(const platform::PlatformConfig& cfg,
+                           std::string label) {
+  platform::Platform p(cfg);
+  const sim::Picos t = p.run();
+  return harvest(p, std::move(label), t);
+}
+
+ScenarioResult runScenarioFor(const platform::PlatformConfig& cfg,
+                              std::string label, sim::Picos duration_ps) {
+  platform::Platform p(cfg);
+  const sim::Picos t = p.runFor(duration_ps);
+  return harvest(p, std::move(label), t);
+}
+
+std::vector<double> normalizedExecTimes(
+    const std::vector<ScenarioResult>& rs) {
+  std::vector<double> out;
+  if (rs.empty()) return out;
+  const double ref = static_cast<double>(rs.front().exec_ps);
+  out.reserve(rs.size());
+  for (const auto& r : rs) {
+    out.push_back(ref > 0 ? static_cast<double>(r.exec_ps) / ref : 0.0);
+  }
+  return out;
+}
+
+}  // namespace mpsoc::core

@@ -1,0 +1,105 @@
+#include "core/export.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mpsoc::core {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void emitBuckets(std::ostream& os, const FifoBuckets& b,
+                 const std::string& pad) {
+  os << pad << "{\"phase\": \"" << jsonEscape(b.phase) << "\", "
+     << "\"full\": " << b.frac_full << ", "
+     << "\"storing\": " << b.frac_storing << ", "
+     << "\"no_request\": " << b.frac_no_request << ", "
+     << "\"empty\": " << b.frac_empty << ", "
+     << "\"mean_occupancy\": " << b.mean_occupancy << "}";
+}
+
+}  // namespace
+
+std::string toCsv(const std::vector<ScenarioResult>& results) {
+  std::ostringstream os;
+  os << "label,exec_ps,completed,retired,bytes_total,mean_read_latency_ns,"
+        "bandwidth_mb_s,lmi_row_hit_rate,lmi_merge_ratio,lmi_refreshes,"
+        "fifo_full,fifo_storing,fifo_no_request,fifo_empty,cpu_cpi\n";
+  for (const auto& r : results) {
+    os << r.label << "," << r.exec_ps << "," << (r.completed ? 1 : 0) << ","
+       << r.retired << "," << r.bytes_total << "," << r.mean_read_latency_ns
+       << "," << r.bandwidth_mb_s << "," << r.lmi_row_hit_rate << ","
+       << r.lmi_merge_ratio << "," << r.lmi_refreshes << ","
+       << r.mem_fifo_total.frac_full << "," << r.mem_fifo_total.frac_storing
+       << "," << r.mem_fifo_total.frac_no_request << ","
+       << r.mem_fifo_total.frac_empty << "," << r.cpu_cpi << "\n";
+  }
+  return os.str();
+}
+
+std::string toJson(const ScenarioResult& r, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string in(static_cast<std::size_t>(indent) + 2, ' ');
+  std::ostringstream os;
+  os << pad << "{\n";
+  os << in << "\"label\": \"" << jsonEscape(r.label) << "\",\n";
+  os << in << "\"exec_ps\": " << r.exec_ps << ",\n";
+  os << in << "\"completed\": " << (r.completed ? "true" : "false") << ",\n";
+  os << in << "\"retired\": " << r.retired << ",\n";
+  os << in << "\"bytes_total\": " << r.bytes_total << ",\n";
+  os << in << "\"mean_read_latency_ns\": " << r.mean_read_latency_ns << ",\n";
+  os << in << "\"bandwidth_mb_s\": " << r.bandwidth_mb_s << ",\n";
+  os << in << "\"lmi\": {\"row_hit_rate\": " << r.lmi_row_hit_rate
+     << ", \"merge_ratio\": " << r.lmi_merge_ratio
+     << ", \"refreshes\": " << r.lmi_refreshes << "},\n";
+  os << in << "\"cpu_cpi\": " << r.cpu_cpi << ",\n";
+  os << in << "\"mem_fifo\": \n";
+  emitBuckets(os, r.mem_fifo_total, in);
+  if (!r.mem_fifo_phases.empty()) {
+    os << ",\n" << in << "\"phases\": [\n";
+    for (std::size_t i = 0; i < r.mem_fifo_phases.size(); ++i) {
+      emitBuckets(os, r.mem_fifo_phases[i], in + "  ");
+      if (i + 1 < r.mem_fifo_phases.size()) os << ",";
+      os << "\n";
+    }
+    os << in << "]";
+  }
+  os << "\n" << pad << "}";
+  return os.str();
+}
+
+std::string toJson(const std::vector<ScenarioResult>& results) {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    os << toJson(results[i], 2);
+    if (i + 1 < results.size()) os << ",";
+    os << "\n";
+  }
+  os << "]\n";
+  return os.str();
+}
+
+}  // namespace mpsoc::core

@@ -1,0 +1,72 @@
+#include "cpu/cache.hpp"
+
+#include <cassert>
+
+namespace mpsoc::cpu {
+
+Cache::Cache(CacheConfig cfg) : cfg_(cfg) {
+  assert(cfg_.line_bytes > 0 && cfg_.ways > 0);
+  sets_ = cfg_.size_bytes / cfg_.line_bytes / cfg_.ways;
+  if (sets_ == 0) sets_ = 1;
+  lines_.assign(sets_ * cfg_.ways, Line{});
+}
+
+void Cache::invalidateAll() {
+  for (auto& l : lines_) l = Line{};
+}
+
+CacheAccessResult Cache::access(std::uint64_t addr, bool is_write) {
+  ++tick_;
+  const std::uint64_t set = setOf(addr);
+  const std::uint64_t tag = tagOf(addr);
+  Line* base = &lines_[set * cfg_.ways];
+
+  CacheAccessResult res;
+
+  for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      ++hits_;
+      l.lru = tick_;
+      res.hit = true;
+      if (is_write) {
+        if (cfg_.write_policy == WritePolicy::WriteBack) {
+          l.dirty = true;
+        } else {
+          res.write_through = true;
+        }
+      }
+      return res;
+    }
+  }
+
+  ++misses_;
+  if (is_write && !cfg_.write_allocate) {
+    res.write_through = true;  // store goes straight to memory
+    return res;
+  }
+
+  // Allocate: evict the LRU way.
+  Line* victim = base;
+  for (std::uint32_t w = 1; w < cfg_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+    if (base[w].lru < victim->lru) victim = &base[w];
+  }
+  if (victim->valid && victim->dirty) {
+    res.writeback_addr = lineAddr(victim->tag, set);
+  }
+  res.fill_addr = (addr / cfg_.line_bytes) * cfg_.line_bytes;
+  victim->valid = true;
+  victim->dirty = is_write && cfg_.write_policy == WritePolicy::WriteBack;
+  victim->tag = tag;
+  victim->lru = tick_;
+  if (is_write && cfg_.write_policy == WritePolicy::WriteThrough) {
+    res.write_through = true;
+  }
+  return res;
+}
+
+}  // namespace mpsoc::cpu

@@ -1,0 +1,138 @@
+#include "cpu/st220.hpp"
+
+#include <memory>
+
+namespace mpsoc::cpu {
+
+using txn::Opcode;
+
+St220::St220(sim::ClockDomain& clk, std::string name, txn::InitiatorPort& port,
+             St220Config cfg)
+    : txn::MasterBase(clk, std::move(name), port, /*max_outstanding=*/4),
+      cfg_(cfg), icache_(cfg.icache), dcache_(cfg.dcache),
+      rng_(cfg.seed, this->name()), pc_(cfg.code_base),
+      data_seq_(cfg.data_base) {}
+
+void St220::scheduleFill(std::uint64_t line_addr, std::uint32_t line_bytes) {
+  stalled_ = true;
+  if (canIssue() && port_.req.canPush()) {
+    issueFill(line_addr, line_bytes);
+  } else {
+    fill_pending_ = true;
+    pending_fill_addr_ = line_addr;
+    pending_fill_bytes_ = line_bytes;
+  }
+}
+
+void St220::issueFill(std::uint64_t line_addr, std::uint32_t line_bytes) {
+  auto req = std::make_shared<txn::Request>();
+  req->id = txn::nextTransactionId();
+  req->root_id = req->id;
+  req->op = Opcode::Read;
+  req->addr = line_addr;
+  req->bytes_per_beat = cfg_.bytes_per_beat;
+  req->beats = line_bytes / cfg_.bytes_per_beat;
+  req->priority = cfg_.priority;
+  req->tag = 1;  // demand fill
+  issue(req);
+  stalled_ = true;
+}
+
+void St220::issueWriteback(std::uint64_t line_addr, std::uint32_t line_bytes) {
+  auto req = std::make_shared<txn::Request>();
+  req->id = txn::nextTransactionId();
+  req->root_id = req->id;
+  req->op = Opcode::Write;
+  req->addr = line_addr;
+  req->bytes_per_beat = cfg_.bytes_per_beat;
+  req->beats = line_bytes / cfg_.bytes_per_beat;
+  req->priority = cfg_.priority;
+  req->posted = cfg_.posted_writebacks;
+  req->tag = 2;  // eviction
+  issue(req);
+}
+
+std::uint64_t St220::nextDataAddr() {
+  if (rng_.bernoulli(cfg_.data_random_fraction)) {
+    return cfg_.data_base +
+           (rng_.uniformInt(0, cfg_.data_footprint / 4 - 1) * 4);
+  }
+  // Sequential array walk wrapping over the working set.
+  data_seq_ += 4;
+  if (data_seq_ >= cfg_.data_base + cfg_.data_footprint) {
+    data_seq_ = cfg_.data_base;
+  }
+  return data_seq_;
+}
+
+void St220::evaluate() {
+  collectResponses();
+  if (done()) return;
+  ++active_cycles_;
+
+  // A fill that failed to issue (outstanding/port full) retries here.
+  if (fill_pending_) {
+    ++stall_cycles_;
+    if (canIssue() && port_.req.canPush()) {
+      issueFill(pending_fill_addr_, pending_fill_bytes_);
+      fill_pending_ = false;
+    }
+    return;
+  }
+  if (stalled_) {
+    ++stall_cycles_;
+    return;
+  }
+
+  // Fetch: one bundle per cycle through the I-cache.
+  auto ires = icache_.access(pc_, false);
+  if (rng_.bernoulli(cfg_.branch_fraction)) {
+    pc_ = cfg_.code_base +
+          (rng_.uniformInt(0, cfg_.code_footprint / 16 - 1) * 16);
+  } else {
+    pc_ += 16;  // 4 syllables x 32 bit
+    if (pc_ >= cfg_.code_base + cfg_.code_footprint) pc_ = cfg_.code_base;
+  }
+  if (!ires.hit) {
+    scheduleFill(*ires.fill_addr, icache_.lineBytes());
+    return;  // the bundle resumes when the fill returns
+  }
+
+  // Execute: optional memory operation through the D-cache.
+  const bool is_load = rng_.bernoulli(cfg_.load_fraction);
+  const bool is_store = !is_load && rng_.bernoulli(cfg_.store_fraction);
+  if (is_load || is_store) {
+    auto dres = dcache_.access(nextDataAddr(), is_store);
+    if (dres.writeback_addr && canIssuePosted() && port_.req.canPush()) {
+      issueWriteback(*dres.writeback_addr, dcache_.lineBytes());
+    }
+    if (!dres.hit && dres.fill_addr) {
+      scheduleFill(*dres.fill_addr, dcache_.lineBytes());
+      ++bundles_done_;  // the bundle itself commits; the load stalls the next
+      return;
+    }
+    if (dres.write_through && canIssuePosted() && port_.req.canPush()) {
+      // Write-through store of a single word.
+      auto req = std::make_shared<txn::Request>();
+      req->id = txn::nextTransactionId();
+      req->root_id = req->id;
+      req->op = Opcode::Write;
+      req->addr = data_seq_;
+      req->bytes_per_beat = cfg_.bytes_per_beat;
+      req->beats = 1;
+      req->posted = cfg_.posted_writebacks;
+      req->priority = cfg_.priority;
+      req->tag = 3;
+      issue(req);
+    }
+  }
+  ++bundles_done_;
+}
+
+void St220::onResponse(const txn::ResponsePtr& rsp) {
+  if (rsp->req->tag == 1) stalled_ = false;
+}
+
+bool St220::idle() const { return done() && outstanding() == 0; }
+
+}  // namespace mpsoc::cpu

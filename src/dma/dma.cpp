@@ -1,0 +1,151 @@
+#include "dma/dma.hpp"
+
+#include <cassert>
+#include <memory>
+#include <unordered_map>
+
+namespace mpsoc::dma {
+
+using txn::Opcode;
+
+namespace {
+constexpr std::uint32_t kTagRead = 10;
+constexpr std::uint32_t kTagWrite = 11;
+}  // namespace
+
+DmaEngine::DmaEngine(sim::ClockDomain& clk, std::string name,
+                     txn::InitiatorPort& port, DmaConfig cfg)
+    : txn::MasterBase(clk, std::move(name), port,
+                      cfg.max_inflight_reads + cfg.buffer_bursts + 2),
+      cfg_(cfg) {}
+
+void DmaEngine::program(const DmaDescriptor& d) {
+  assert(d.bytes > 0);
+  chain_.push_back(d);
+  const std::uint64_t granule =
+      static_cast<std::uint64_t>(cfg_.burst_beats) * cfg_.bytes_per_beat;
+  desc_slices_left_.push_back((d.bytes + granule - 1) / granule);
+}
+
+void DmaEngine::program(const std::vector<DmaDescriptor>& chain) {
+  for (const auto& d : chain) program(d);
+}
+
+std::uint32_t DmaEngine::sliceBeats(std::uint64_t remaining) const {
+  const std::uint64_t full =
+      static_cast<std::uint64_t>(cfg_.burst_beats) * cfg_.bytes_per_beat;
+  const std::uint64_t bytes = remaining < full ? remaining : full;
+  return static_cast<std::uint32_t>(
+      (bytes + cfg_.bytes_per_beat - 1) / cfg_.bytes_per_beat);
+}
+
+void DmaEngine::evaluate() {
+  collectResponses();
+
+  // Drain the copy buffer first (a full buffer would throttle reads).
+  if (!write_queue_.empty()) {
+    const bool posted = cfg_.posted_writes;
+    if ((posted ? canIssuePosted() : canIssue())) {
+      issueNextWrite();
+      return;  // one bus issue per cycle
+    }
+  }
+  // Fill: next read slice of the active descriptor.
+  if (desc_idx_ < chain_.size() && reads_inflight_ < cfg_.max_inflight_reads &&
+      write_queue_.size() + reads_inflight_ < cfg_.buffer_bursts &&
+      canIssue()) {
+    issueNextRead();
+  }
+}
+
+void DmaEngine::issueNextRead() {
+  const DmaDescriptor& d = chain_[desc_idx_];
+  const std::uint64_t remaining = d.bytes - read_offset_;
+  const std::uint32_t beats = sliceBeats(remaining);
+
+  auto req = std::make_shared<txn::Request>();
+  req->id = txn::nextTransactionId();
+  req->root_id = req->id;
+  req->op = Opcode::Read;
+  req->addr = d.src + read_offset_;
+  req->beats = beats;
+  req->bytes_per_beat = cfg_.bytes_per_beat;
+  req->priority = cfg_.priority;
+  req->tag = kTagRead;
+
+  PendingWrite pw;
+  pw.dst = d.dst + read_offset_;
+  pw.beats = beats;
+  pw.desc_idx = desc_idx_;
+  const std::uint64_t granule =
+      static_cast<std::uint64_t>(beats) * cfg_.bytes_per_beat;
+  read_offset_ += granule > remaining ? remaining : granule;
+  pw.last_of_descriptor = read_offset_ >= d.bytes;
+  pending_reads_[req->id] = pw;
+
+  ++reads_inflight_;
+  issue(req);
+
+  if (read_offset_ >= d.bytes) {
+    ++desc_idx_;
+    read_offset_ = 0;
+  }
+}
+
+void DmaEngine::issueNextWrite() {
+  PendingWrite pw = write_queue_.front();
+  write_queue_.pop_front();
+
+  auto req = std::make_shared<txn::Request>();
+  req->id = txn::nextTransactionId();
+  req->root_id = req->id;
+  req->op = Opcode::Write;
+  req->addr = pw.dst;
+  req->beats = pw.beats;
+  req->bytes_per_beat = cfg_.bytes_per_beat;
+  req->priority = cfg_.priority;
+  req->posted = cfg_.posted_writes;
+  req->tag = kTagWrite;
+  write_descs_[req->id] = pw.desc_idx;
+  issue(req);
+
+  if (cfg_.posted_writes) {
+    // Posted writes complete at issue.
+    completeWriteFor(req->id);
+  }
+}
+
+void DmaEngine::completeWriteFor(std::uint64_t req_id) {
+  auto it = write_descs_.find(req_id);
+  assert(it != write_descs_.end());
+  const std::uint64_t desc = it->second;
+  write_descs_.erase(it);
+  assert(desc_slices_left_[desc] > 0);
+  if (--desc_slices_left_[desc] == 0) {
+    ++descs_done_;
+    if (on_complete_) on_complete_(chain_[desc]);
+  }
+}
+
+void DmaEngine::onResponse(const txn::ResponsePtr& rsp) {
+  if (rsp->req->tag == kTagRead) {
+    auto it = pending_reads_.find(rsp->req->id);
+    assert(it != pending_reads_.end());
+    write_queue_.push_back(it->second);
+    bytes_copied_ += static_cast<std::uint64_t>(it->second.beats) *
+                     cfg_.bytes_per_beat;
+    pending_reads_.erase(it);
+    assert(reads_inflight_ > 0);
+    --reads_inflight_;
+  } else if (rsp->req->tag == kTagWrite) {
+    completeWriteFor(rsp->req->id);
+  }
+}
+
+bool DmaEngine::done() const { return descs_done_ == chain_.size(); }
+
+bool DmaEngine::idle() const {
+  return done() && outstanding() == 0 && write_queue_.empty();
+}
+
+}  // namespace mpsoc::dma

@@ -1,0 +1,42 @@
+#pragma once
+// Text front end for IPTG: the paper's IPTGs are driven by "a per-IP
+// configuration file, where all the required options and parameters are
+// set".  This parser reads a small INI-style dialect into an IptgConfig.
+//
+//   # ip-level options
+//   bytes_per_beat = 8
+//   seed = 42
+//
+//   [agent capture]
+//   read_fraction = 0.0
+//   bursts = 16:0.5, 8:0.5          # beats:weight list
+//   pattern = sequential             # sequential | random | strided
+//   stride = 256
+//   base_addr = 0x80000000
+//   region_size = 0x100000
+//   outstanding = 8
+//   posted_writes = true
+//   priority = 3
+//   message_len = 4
+//   total_transactions = 1000
+//   gap = 10..20                     # uniform inter-message idle cycles
+//   after = display:16               # start after agent `display` retires 16
+//
+//   [agent trace]
+//   sequence = R:0x1000:8, W:0x2000:4:2   # op:addr:beats[:gap_cycles]
+//
+// Errors throw std::runtime_error with the offending line number.
+
+#include <string>
+
+#include "iptg/iptg.hpp"
+
+namespace mpsoc::iptg {
+
+/// Parse a configuration from text.
+IptgConfig parseIptgConfig(const std::string& text);
+
+/// Parse a configuration from a file.
+IptgConfig loadIptgConfig(const std::string& path);
+
+}  // namespace mpsoc::iptg

@@ -1,0 +1,88 @@
+#include "iptg/trace.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mpsoc::iptg {
+
+void TraceRecorder::record(sim::Picos now, const txn::RequestPtr& req) {
+  TraceRecord r;
+  r.time_ps = now;
+  r.op = req->op;
+  r.addr = req->addr;
+  r.beats = req->beats;
+  r.bytes_per_beat = req->bytes_per_beat;
+  r.source = req->source;
+  records_.push_back(std::move(r));
+}
+
+void TraceRecorder::write(std::ostream& os) const {
+  for (const auto& r : records_) {
+    os << r.time_ps << " " << (r.op == txn::Opcode::Read ? 'R' : 'W') << " 0x"
+       << std::hex << r.addr << std::dec << " " << r.beats << " "
+       << r.bytes_per_beat << " " << (r.source.empty() ? "-" : r.source)
+       << "\n";
+  }
+}
+
+std::vector<TraceRecord> parseTrace(std::istream& is) {
+  std::vector<TraceRecord> out;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    TraceRecord r;
+    char opc = 0;
+    std::string addr_s;
+    if (!(ls >> r.time_ps >> opc >> addr_s >> r.beats >> r.bytes_per_beat)) {
+      throw std::runtime_error("trace line " + std::to_string(line_no) +
+                               ": malformed record");
+    }
+    ls >> r.source;  // optional
+    if (opc == 'R' || opc == 'r') {
+      r.op = txn::Opcode::Read;
+    } else if (opc == 'W' || opc == 'w') {
+      r.op = txn::Opcode::Write;
+    } else {
+      throw std::runtime_error("trace line " + std::to_string(line_no) +
+                               ": bad opcode '" + std::string(1, opc) + "'");
+    }
+    try {
+      r.addr = std::stoull(addr_s, nullptr, 0);
+    } catch (const std::exception&) {
+      throw std::runtime_error("trace line " + std::to_string(line_no) +
+                               ": bad address '" + addr_s + "'");
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+AgentProfile sequenceFromTrace(const std::vector<TraceRecord>& trace,
+                               sim::Picos clock_period_ps,
+                               std::string agent_name) {
+  AgentProfile p;
+  p.name = std::move(agent_name);
+  p.sequence.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const TraceRecord& r = trace[i];
+    SeqEntry e;
+    e.op = r.op;
+    e.addr = r.addr;
+    e.beats = r.beats;
+    // A SeqEntry's gap applies *after* it issues: reconstruct it from the
+    // inter-arrival delta to the next record.
+    if (i + 1 < trace.size() && clock_period_ps > 0 &&
+        trace[i + 1].time_ps > r.time_ps) {
+      e.gap_cycles = (trace[i + 1].time_ps - r.time_ps) / clock_period_ps;
+    }
+    p.sequence.push_back(e);
+  }
+  return p;
+}
+
+}  // namespace mpsoc::iptg

@@ -1,0 +1,111 @@
+#include "noc/router.hpp"
+
+#include <cassert>
+
+namespace mpsoc::noc {
+
+Router::Router(sim::ClockDomain& clk, std::string name, unsigned x, unsigned y,
+               unsigned mesh_w, unsigned mesh_h, RouterConfig cfg)
+    : sim::Component(clk, std::move(name)), x_(x), y_(y), mesh_w_(mesh_w),
+      mesh_h_(mesh_h), cfg_(cfg) {
+  static const char* dir_names[kDirs] = {"N", "E", "S", "W", "L"};
+  for (std::size_t d = 0; d < kDirs; ++d) {
+    in_[d] = std::make_unique<PacketFifo>(
+        clk_, this->name() + ".in" + dir_names[d], cfg_.input_fifo_depth);
+  }
+}
+
+Dir Router::routeTo(NodeId dst) const {
+  const unsigned dx = dst % mesh_w_;
+  const unsigned dy = static_cast<unsigned>(dst) / mesh_w_;
+  assert(dy < mesh_h_ && "destination outside the mesh");
+  if (dx > x_) return Dir::East;
+  if (dx < x_) return Dir::West;
+  if (dy > y_) return Dir::South;
+  if (dy < y_) return Dir::North;
+  return Dir::Local;
+}
+
+void Router::evaluate() {
+  for (std::size_t d = 0; d < kDirs; ++d) runOutput(d);
+}
+
+void Router::tickEngine(OutputEngine& e) {
+  e.chan.markTransfer();
+  --e.cycles_left;
+  if (e.push_in > 0 && --e.push_in == 0) {
+    e.sink->push(e.streaming);
+    ++routed_;
+    // Cut-through: the link stays busy until the tail has crossed even
+    // though the packet object is already downstream.
+    if (e.cycles_left == 0) e.streaming.reset();
+  } else if (e.cycles_left == 0 && e.push_in == 0) {
+    e.streaming.reset();
+  }
+}
+
+void Router::runOutput(std::size_t d) {
+  OutputEngine& e = out_[d];
+  if (!e.sink) return;
+
+  if (e.streaming) {
+    tickEngine(e);
+    return;
+  }
+  if (e.cycles_left > 0) {
+    // Tail still crossing after a cut-through handoff: link busy.
+    e.chan.markTransfer();
+    --e.cycles_left;
+    return;
+  }
+
+  auto grant = [&](std::size_t i, PacketFifo& fifo) {
+    e.streaming = fifo.pop();
+    const std::uint32_t total = cfg_.pipeline_latency + e.streaming->flits;
+    e.cycles_left = total;
+    e.push_in = cfg_.cut_through
+                    ? std::min<std::uint32_t>(cfg_.pipeline_latency + 1, total)
+                    : total;
+    e.last_input = i;
+    e.has_last = true;
+    e.last_msg = e.streaming->req ? e.streaming->req->msg_id : 0;
+    tickEngine(e);
+  };
+
+  // Message locking: the previously granted input keeps the port while it
+  // presents the next packet of the same message.
+  if (cfg_.message_locking && e.has_last && e.last_msg != 0) {
+    PacketFifo& fifo = *in_[e.last_input];
+    if (!fifo.empty()) {
+      const NocPacketPtr& pkt = fifo.front();
+      if (static_cast<std::size_t>(routeTo(pkt->dst)) == d && pkt->req &&
+          pkt->req->msg_id == e.last_msg && e.sink->canPush()) {
+        grant(e.last_input, fifo);
+        return;
+      }
+    }
+  }
+
+  // Round-robin over input ports whose head packet routes to this output.
+  for (std::size_t off = 1; off <= kDirs; ++off) {
+    const std::size_t i = (e.last_input + off) % kDirs;
+    PacketFifo& fifo = *in_[i];
+    if (fifo.empty()) continue;
+    const NocPacketPtr& pkt = fifo.front();
+    if (static_cast<std::size_t>(routeTo(pkt->dst)) != d) continue;
+    // Reserve the downstream slot for the whole serialisation.
+    if (!e.sink->canPush()) return;
+    grant(i, fifo);
+    return;
+  }
+}
+
+bool Router::idle() const {
+  for (std::size_t d = 0; d < kDirs; ++d) {
+    if (out_[d].streaming) return false;
+    if (in_[d] && !in_[d]->empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace mpsoc::noc

@@ -1,0 +1,150 @@
+#include "platform/scenario_parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mpsoc::platform {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw std::runtime_error("scenario, line " + std::to_string(line) + ": " +
+                           msg);
+}
+
+std::string trim(std::string s) {
+  auto issp = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!s.empty() && issp(static_cast<unsigned char>(s.front()))) s.erase(s.begin());
+  while (!s.empty() && issp(static_cast<unsigned char>(s.back()))) s.pop_back();
+  return s;
+}
+
+std::uint64_t parseU64(const std::string& s, std::size_t line) {
+  try {
+    std::size_t pos = 0;
+    const std::uint64_t v = std::stoull(s, &pos, 0);
+    if (pos != s.size()) fail(line, "trailing characters in '" + s + "'");
+    return v;
+  } catch (const std::exception&) {
+    fail(line, "expected a number, got '" + s + "'");
+  }
+}
+
+double parseDouble(const std::string& s, std::size_t line) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) fail(line, "trailing characters in '" + s + "'");
+    return v;
+  } catch (const std::exception&) {
+    fail(line, "expected a real number, got '" + s + "'");
+  }
+}
+
+bool parseBool(const std::string& s, std::size_t line) {
+  if (s == "true" || s == "1" || s == "yes") return true;
+  if (s == "false" || s == "0" || s == "no") return false;
+  fail(line, "expected a boolean, got '" + s + "'");
+}
+
+}  // namespace
+
+NamedScenario parseScenario(const std::string& text) {
+  NamedScenario out;
+  out.name = "scenario";
+  PlatformConfig& cfg = out.config;
+
+  std::istringstream iss(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(iss, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected 'key = value'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string val = trim(line.substr(eq + 1));
+    if (val.empty()) fail(line_no, "empty value for '" + key + "'");
+
+    if (key == "name") {
+      out.name = val;
+    } else if (key == "protocol") {
+      if (val == "stbus") cfg.protocol = Protocol::Stbus;
+      else if (val == "ahb") cfg.protocol = Protocol::Ahb;
+      else if (val == "axi") cfg.protocol = Protocol::Axi;
+      else fail(line_no, "unknown protocol '" + val + "'");
+    } else if (key == "topology") {
+      if (val == "full") cfg.topology = Topology::Full;
+      else if (val == "collapsed") cfg.topology = Topology::Collapsed;
+      else if (val == "single-layer") cfg.topology = Topology::SingleLayer;
+      else fail(line_no, "unknown topology '" + val + "'");
+    } else if (key == "memory") {
+      if (val == "onchip") cfg.memory = MemoryKind::OnChip;
+      else if (val == "lmi") cfg.memory = MemoryKind::Lmi;
+      else fail(line_no, "unknown memory kind '" + val + "'");
+    } else if (key == "wait_states") {
+      cfg.onchip_wait_states = static_cast<unsigned>(parseU64(val, line_no));
+    } else if (key == "stbus_type") {
+      const auto t = parseU64(val, line_no);
+      if (t < 1 || t > 3) fail(line_no, "stbus_type must be 1..3");
+      cfg.stbus_type = static_cast<stbus::StbusType>(t);
+    } else if (key == "arbitration") {
+      if (val == "fixed-priority") cfg.arbitration = txn::ArbPolicy::FixedPriority;
+      else if (val == "round-robin") cfg.arbitration = txn::ArbPolicy::RoundRobin;
+      else if (val == "lru") cfg.arbitration = txn::ArbPolicy::LeastRecentlyUsed;
+      else if (val == "tdma") cfg.arbitration = txn::ArbPolicy::Tdma;
+      else if (val == "lottery") cfg.arbitration = txn::ArbPolicy::Lottery;
+      else fail(line_no, "unknown arbitration policy '" + val + "'");
+    } else if (key == "message_arbitration") {
+      cfg.message_arbitration = parseBool(val, line_no);
+    } else if (key == "lightweight_bridges") {
+      cfg.force_lightweight_bridges = parseBool(val, line_no);
+    } else if (key == "mem_bridge_split") {
+      cfg.mem_bridge_split = parseBool(val, line_no);
+    } else if (key == "lmi_lookahead") {
+      cfg.lmi.lookahead = static_cast<unsigned>(parseU64(val, line_no));
+    } else if (key == "lmi_merging") {
+      cfg.lmi.opcode_merging = parseBool(val, line_no);
+    } else if (key == "lmi_divider") {
+      cfg.lmi.clock_divider = static_cast<unsigned>(parseU64(val, line_no));
+    } else if (key == "mem_fifo_depth") {
+      cfg.mem_fifo_depth = parseU64(val, line_no);
+    } else if (key == "workload_scale") {
+      cfg.workload_scale = parseDouble(val, line_no);
+    } else if (key == "outstanding_override") {
+      cfg.agent_outstanding_override =
+          static_cast<unsigned>(parseU64(val, line_no));
+    } else if (key == "burst_override") {
+      cfg.agent_burst_override_beats =
+          static_cast<std::uint32_t>(parseU64(val, line_no));
+    } else if (key == "use_case") {
+      if (val == "playback") cfg.use_case = UseCase::Playback;
+      else if (val == "record") cfg.use_case = UseCase::Record;
+      else fail(line_no, "unknown use_case '" + val + "'");
+    } else if (key == "include_cpu") {
+      cfg.include_cpu = parseBool(val, line_no);
+    } else if (key == "two_phase") {
+      cfg.two_phase_workload = parseBool(val, line_no);
+    } else if (key == "seed") {
+      cfg.seed = parseU64(val, line_no);
+    } else {
+      fail(line_no, "unknown scenario option '" + key + "'");
+    }
+  }
+  return out;
+}
+
+NamedScenario loadScenario(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open scenario '" + path + "'");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parseScenario(ss.str());
+}
+
+}  // namespace mpsoc::platform

@@ -1,0 +1,42 @@
+#pragma once
+// Text front end for platform scenarios, so architecture exploration can be
+// driven from files (and the mpsoc_run CLI) instead of recompiled C++:
+//
+//   # full STBus reference platform on DDR
+//   name = stbus-reference
+//   protocol = stbus            # stbus | ahb | axi
+//   topology = full             # full | collapsed | single-layer
+//   memory = lmi                # onchip | lmi
+//   wait_states = 1             # onchip memory speed
+//   stbus_type = 3              # 1 | 2 | 3
+//   arbitration = fixed-priority  # round-robin | lru | tdma | lottery
+//   message_arbitration = true
+//   lightweight_bridges = false
+//   mem_bridge_split = true
+//   lmi_lookahead = 4
+//   lmi_merging = true
+//   lmi_divider = 2
+//   mem_fifo_depth = 8
+//   workload_scale = 1.0
+//   outstanding_override = 0
+//   burst_override = 0
+//   include_cpu = true
+//   seed = 1
+//
+// Unknown keys are errors (with line numbers), so scenario files stay honest.
+
+#include <string>
+
+#include "platform/config.hpp"
+
+namespace mpsoc::platform {
+
+struct NamedScenario {
+  std::string name;
+  PlatformConfig config;
+};
+
+NamedScenario parseScenario(const std::string& text);
+NamedScenario loadScenario(const std::string& path);
+
+}  // namespace mpsoc::platform

@@ -1,0 +1,234 @@
+#include "platform/workloads.hpp"
+
+#include <cmath>
+
+namespace mpsoc::platform {
+
+namespace {
+
+std::uint64_t scaled(double scale, std::uint64_t quota) {
+  return static_cast<std::uint64_t>(std::llround(scale * static_cast<double>(quota)));
+}
+
+/// Common two-regime shaping: phase 1 runs the agent at its nominal pace;
+/// phase 2 keeps burst trains but inserts long idle gaps (lower mean, more
+/// bursty — the second working regime of Fig. 6).
+void addPhases(iptg::AgentProfile& p, sim::Picos p1_end, sim::Picos p2_end) {
+  iptg::PhaseOverride ph1;
+  ph1.begin = 0;
+  ph1.end = p1_end;
+  ph1.throttle = p.throttle;
+  ph1.gap_min = p.gap_min;
+  ph1.gap_max = p.gap_max;
+  iptg::PhaseOverride ph2;
+  ph2.begin = p1_end;
+  ph2.end = p2_end;
+  ph2.throttle = 1.0;
+  ph2.gap_min = 250;
+  ph2.gap_max = 1100;
+  p.phases = {ph1, ph2};
+}
+
+}  // namespace
+
+// The heavy streaming agents (video, DMA) are *saturating*: no artificial
+// gaps, deep outstanding capability, message trains — they pump as fast as
+// the architecture lets them, so the execution time measures the platform,
+// not the workload pacing.  Only genuinely low-rate IPs (audio, peripheral
+// DMA) are self-paced.  N5 carries the bulk of the byte traffic — it is the
+// "most heavily congested cluster" whose folding defines the collapsed
+// variants.
+std::vector<IpSpec> referenceWorkload(double scale, bool two_phase,
+                                      sim::Picos phase1_end,
+                                      sim::Picos phase2_end,
+                                      std::uint64_t seed,
+                                      UseCase use_case) {
+  // Record/timeshift mode reshapes the heavy AV streams: capture doubles,
+  // the display path thins to a preview, and the decoder's reference
+  // fetches become an encoder's motion-search reads plus bitstream writes.
+  const bool record = use_case == UseCase::Record;
+  std::vector<IpSpec> out;
+  std::uint64_t region_idx = 0;
+  auto region = [&region_idx]() {
+    return kMemBase + (region_idx++) * kIpRegion;
+  };
+  auto finish = [&](iptg::AgentProfile& p, std::uint64_t quota) {
+    p.base_addr = region();
+    p.region_size = kIpRegion / 2;
+    p.total_transactions = two_phase ? 0 : scaled(scale, quota);
+    if (two_phase) addPhases(p, phase1_end, phase2_end);
+  };
+
+  // ---- N1: video decode pipeline (32-bit, 200 MHz) ------------------------
+  {
+    IpSpec ip{"decrypt", "N1", {}};
+    ip.cfg.bytes_per_beat = 4;
+    ip.cfg.seed = seed;
+    iptg::AgentProfile in;
+    in.name = "stream_in";
+    in.read_fraction = 1.0;
+    in.burst_beats = {{8, 0.7}, {4, 0.3}};
+    in.outstanding = 4;
+    in.message_len = 4;
+    in.priority = 1;
+    finish(in, 500);
+    iptg::AgentProfile outp;
+    outp.name = "stream_out";
+    outp.read_fraction = 0.0;
+    outp.posted_writes = true;
+    outp.burst_beats = {{8, 1.0}};
+    outp.outstanding = 4;
+    outp.message_len = 4;
+    outp.priority = 1;
+    outp.after_agent = 0;  // consumes what stream_in produced
+    outp.after_count = 8;
+    finish(outp, 500);
+    ip.cfg.agents = {in, outp};
+    out.push_back(std::move(ip));
+  }
+  {
+    IpSpec ip{"decoder", "N1", {}};
+    ip.cfg.bytes_per_beat = 4;
+    ip.cfg.seed = seed + 1;
+    iptg::AgentProfile ref;
+    ref.name = "ref_fetch";
+    ref.read_fraction = 1.0;
+    ref.burst_beats = {{16, 0.4}, {8, 0.6}};
+    ref.pattern = iptg::AddressPattern::Strided;
+    ref.stride = 256;
+    ref.outstanding = 6;
+    ref.message_len = 4;
+    ref.priority = 2;
+    finish(ref, 700);
+    iptg::AgentProfile wb;
+    wb.name = "frame_wb";
+    wb.read_fraction = 0.0;
+    wb.posted_writes = true;
+    wb.burst_beats = {{16, 0.6}, {8, 0.4}};
+    wb.outstanding = 4;
+    wb.message_len = 4;
+    wb.priority = 2;
+    wb.after_agent = 0;
+    wb.after_count = 16;
+    finish(wb, 500);
+    ip.cfg.agents = {ref, wb};
+    out.push_back(std::move(ip));
+  }
+  {
+    IpSpec ip{"resizer", "N1", {}};
+    ip.cfg.bytes_per_beat = 4;
+    ip.cfg.seed = seed + 2;
+    iptg::AgentProfile rd;
+    rd.name = "line_rd";
+    rd.read_fraction = 0.6;
+    rd.burst_beats = {{8, 1.0}};
+    rd.outstanding = 4;
+    rd.message_len = 2;
+    rd.priority = 1;
+    finish(rd, 500);
+    ip.cfg.agents = {rd};
+    out.push_back(std::move(ip));
+  }
+
+  // ---- N5: AV input/output — the heavily congested cluster (64-bit) -------
+  {
+    IpSpec ip{"video_in", "N5", {}};
+    ip.cfg.bytes_per_beat = 8;
+    ip.cfg.seed = seed + 3;
+    iptg::AgentProfile w;
+    w.name = "capture";
+    w.read_fraction = 0.0;
+    w.posted_writes = true;
+    w.burst_beats = {{16, 0.5}, {8, 0.5}};
+    w.outstanding = 8;
+    w.message_len = 4;
+    w.priority = 3;
+    finish(w, record ? 6400 : 4000);
+    ip.cfg.agents = {w};
+    out.push_back(std::move(ip));
+  }
+  {
+    IpSpec ip{"video_out", "N5", {}};
+    ip.cfg.bytes_per_beat = 8;
+    ip.cfg.seed = seed + 4;
+    iptg::AgentProfile r;
+    r.name = "display";
+    r.read_fraction = 1.0;
+    r.burst_beats = {{16, 0.6}, {8, 0.4}};
+    r.outstanding = 8;
+    r.message_len = 4;
+    r.priority = 3;
+    if (record) r.read_fraction = 1.0;  // preview path only
+    finish(r, record ? 1200 : 4000);
+    ip.cfg.agents = {r};
+    out.push_back(std::move(ip));
+  }
+  {
+    IpSpec ip{"audio", "N5", {}};
+    ip.cfg.bytes_per_beat = 8;
+    ip.cfg.seed = seed + 5;
+    iptg::AgentProfile a;
+    a.name = "pcm";
+    a.read_fraction = 0.5;
+    a.burst_beats = {{2, 0.5}, {4, 0.5}};
+    a.outstanding = 1;
+    a.gap_min = 6;
+    a.gap_max = 18;
+    a.priority = 2;
+    finish(a, 700);
+    ip.cfg.agents = {a};
+    out.push_back(std::move(ip));
+  }
+  {
+    IpSpec ip{"gfx_dma", "N5", {}};
+    ip.cfg.bytes_per_beat = 8;
+    ip.cfg.seed = seed + 6;
+    iptg::AgentProfile d;
+    d.name = "blit";
+    d.read_fraction = record ? 0.35 : 0.5;  // encoder emits bitstream
+    d.burst_beats = {{16, 0.7}, {8, 0.3}};
+    d.outstanding = 8;
+    d.message_len = 4;
+    d.priority = record ? 2 : 1;
+    finish(d, record ? 3600 : 3000);
+    ip.cfg.agents = {d};
+    out.push_back(std::move(ip));
+  }
+
+  // ---- N2: generic I/O DMA (32-bit, 133 MHz) ------------------------------
+  {
+    IpSpec ip{"eth_dma", "N2", {}};
+    ip.cfg.bytes_per_beat = 4;
+    ip.cfg.seed = seed + 7;
+    iptg::AgentProfile e;
+    e.name = "pkt";
+    e.read_fraction = 0.5;
+    e.burst_beats = {{8, 0.8}, {4, 0.2}};
+    e.outstanding = 2;
+    e.gap_min = 2;
+    e.gap_max = 14;
+    e.priority = 1;
+    finish(e, 400);
+    ip.cfg.agents = {e};
+    out.push_back(std::move(ip));
+  }
+  {
+    IpSpec ip{"usb_dma", "N2", {}};
+    ip.cfg.bytes_per_beat = 4;
+    ip.cfg.seed = seed + 8;
+    iptg::AgentProfile u;
+    u.name = "bulk";
+    u.read_fraction = 0.6;
+    u.burst_beats = {{4, 0.6}, {8, 0.4}};
+    u.outstanding = 1;
+    u.gap_min = 6;
+    u.gap_max = 20;
+    u.priority = 0;
+    finish(u, 300);
+    ip.cfg.agents = {u};
+    out.push_back(std::move(ip));
+  }
+  return out;
+}
+
+}  // namespace mpsoc::platform

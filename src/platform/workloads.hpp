@@ -1,0 +1,46 @@
+#pragma once
+// The consumer-electronics workload of the reference platform: IPTG agent
+// profiles for each functional cluster (video decode pipeline, AV I/O, and
+// generic DMA), mirroring the mission-critical subset of Fig. 1.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "iptg/iptg.hpp"
+#include "sim/time.hpp"
+
+namespace mpsoc::platform {
+
+/// One IP core of the reference platform: an IPTG configuration plus its
+/// home cluster.
+struct IpSpec {
+  std::string name;
+  std::string cluster;  ///< "N1", "N2", "N5"
+  iptg::IptgConfig cfg; ///< agent profiles at the *cluster-native* width
+};
+
+/// Platform use-cases (the set-top-box runs different traffic mixes in
+/// different modes; mapping multiple use-cases onto one architecture is the
+/// surrounding design problem — ref [24] of the paper).
+enum class UseCase : std::uint8_t {
+  Playback,   ///< decode-dominated: heavy display reads (the default)
+  Record,     ///< encode/timeshift: capture + encoder writes dominate
+};
+
+/// Build the reference AV workload.  `scale` multiplies transaction quotas;
+/// quotas become unbounded when `two_phase` is set (phase windows shape the
+/// traffic instead, for the Fig. 6 experiment).
+std::vector<IpSpec> referenceWorkload(double scale, bool two_phase,
+                                      sim::Picos phase1_end,
+                                      sim::Picos phase2_end,
+                                      std::uint64_t seed,
+                                      UseCase use_case = UseCase::Playback);
+
+/// Memory region carved out for each IP (disjoint frame buffers / ring
+/// buffers inside the unified off-chip memory).
+constexpr std::uint64_t kMemBase = 0x8000'0000ull;
+constexpr std::uint64_t kMemSize = 512ull << 20;
+constexpr std::uint64_t kIpRegion = 4ull << 20;
+
+}  // namespace mpsoc::platform

@@ -1,0 +1,38 @@
+#include "sim/clock.hpp"
+
+#include <algorithm>
+
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+
+namespace mpsoc::sim {
+
+ClockDomain::ClockDomain(Simulator& sim, std::string name, Picos period_ps)
+    : sim_(sim), name_(std::move(name)), period_ps_(period_ps),
+      next_edge_ps_(period_ps) {}
+
+void ClockDomain::removeComponent(Component* c) {
+  components_.erase(std::remove(components_.begin(), components_.end(), c),
+                    components_.end());
+}
+
+void ClockDomain::removeUpdatable(Updatable* u) {
+  updatables_.erase(std::remove(updatables_.begin(), updatables_.end(), u),
+                    updatables_.end());
+}
+
+void ClockDomain::evaluateEdge() {
+  ++cycle_;
+  for (Component* c : components_) {
+    c->evaluate();
+  }
+}
+
+void ClockDomain::commitEdge() {
+  for (Updatable* u : updatables_) {
+    u->commit();
+  }
+  next_edge_ps_ += period_ps_;
+}
+
+}  // namespace mpsoc::sim

@@ -1,0 +1,74 @@
+#pragma once
+// A clock domain: a periodic edge source that drives a set of components and
+// commits the staged state (FIFOs, registers) bound to it.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mpsoc::sim {
+
+class Component;
+class Simulator;
+
+/// Anything holding staged (to-be-registered) state that must become visible
+/// only at the end of the current clock edge.  SyncFifo is the main
+/// implementer; user components may register their own.
+class Updatable {
+ public:
+  virtual ~Updatable() = default;
+  /// Commit staged state.  Called once per edge, after every component in the
+  /// edge's domains has run evaluate().
+  virtual void commit() = 0;
+};
+
+/// A named clock domain with a fixed period.  Components register themselves
+/// on construction.  The Simulator advances domains in lock-step on the global
+/// picosecond timeline; coincident edges across domains are evaluated together
+/// before any state commits, so simulation results are independent of
+/// registration order.
+class ClockDomain {
+ public:
+  ClockDomain(Simulator& sim, std::string name, Picos period_ps);
+
+  ClockDomain(const ClockDomain&) = delete;
+  ClockDomain& operator=(const ClockDomain&) = delete;
+
+  const std::string& name() const { return name_; }
+  Picos period() const { return period_ps_; }
+  double frequencyMhz() const { return mhzFromPeriod(period_ps_); }
+
+  /// Local cycle count: number of edges seen so far.  During evaluate() of
+  /// edge N this reads N (first edge is cycle 1, at t = period).
+  Cycle now() const { return cycle_; }
+
+  Simulator& simulator() { return sim_; }
+
+  const std::vector<Component*>& components() const { return components_; }
+
+  void addComponent(Component* c) { components_.push_back(c); }
+  void removeComponent(Component* c);
+  void addUpdatable(Updatable* u) { updatables_.push_back(u); }
+  void removeUpdatable(Updatable* u);
+
+  /// Time of the next edge on the global timeline.
+  Picos nextEdge() const { return next_edge_ps_; }
+
+  /// Phase 1 of an edge: bump the cycle counter and run every component.
+  void evaluateEdge();
+  /// Phase 2 of an edge: commit all staged state and schedule the next edge.
+  void commitEdge();
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+  Picos period_ps_;
+  Picos next_edge_ps_;
+  Cycle cycle_ = 0;
+  std::vector<Component*> components_;
+  std::vector<Updatable*> updatables_;
+};
+
+}  // namespace mpsoc::sim

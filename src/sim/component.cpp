@@ -1,0 +1,12 @@
+#include "sim/component.hpp"
+
+namespace mpsoc::sim {
+
+Component::Component(ClockDomain& clk, std::string name)
+    : clk_(clk), name_(std::move(name)) {
+  clk_.addComponent(this);
+}
+
+Component::~Component() { clk_.removeComponent(this); }
+
+}  // namespace mpsoc::sim

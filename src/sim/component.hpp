@@ -1,0 +1,42 @@
+#pragma once
+// Base class for everything with per-cycle behaviour (traffic generators,
+// interconnect engines, memories, bridges, processors).
+
+#include <string>
+
+#include "sim/clock.hpp"
+#include "sim/time.hpp"
+
+namespace mpsoc::sim {
+
+class Component {
+ public:
+  Component(ClockDomain& clk, std::string name);
+  virtual ~Component();
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  /// Per-edge behaviour.  May read any committed state and stage new state;
+  /// staged state becomes visible to other components on the next edge.
+  virtual void evaluate() = 0;
+
+  /// True when this component has no further work to contribute: all local
+  /// workload issued and every outstanding effect retired.  The simulator can
+  /// stop when every component reports idle.
+  virtual bool idle() const { return true; }
+
+  /// Hook invoked once when the simulation stops (for stats finalisation).
+  virtual void endOfSimulation() {}
+
+  ClockDomain& clk() { return clk_; }
+  const ClockDomain& clk() const { return clk_; }
+  Cycle now() const { return clk_.now(); }
+  const std::string& name() const { return name_; }
+
+ protected:
+  ClockDomain& clk_;
+  std::string name_;
+};
+
+}  // namespace mpsoc::sim

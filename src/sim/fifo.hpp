@@ -1,0 +1,229 @@
+#pragma once
+// Registered FIFOs — the only sanctioned inter-component communication
+// mechanism.
+//
+// SyncFifo<T> models a synchronous hardware FIFO with registered occupancy:
+//   * a push staged at edge N becomes poppable at edge N+1;
+//   * a slot freed by a pop at edge N becomes pushable at edge N+1;
+//   * consequently full-rate (1 item/cycle) streaming needs depth >= 2, and a
+//     depth-1 FIFO models the paper's "single-slot buffering, each transaction
+//     blocking" target interface.
+//
+// AsyncFifo<T> adds a clock-domain crossing: an item committed by the producer
+// domain becomes visible to the consumer only after `sync_stages` consumer
+// clock periods (a brute-force two-flop synchroniser), as in the paper's
+// hybrid bridges (Fig. 2).
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace mpsoc::sim {
+
+/// End-of-edge snapshot handed to FIFO observers (used by stats probes to
+/// classify every cycle as full / storing / no-request, per Fig. 6).
+struct FifoEdgeInfo {
+  std::size_t occupancy_before = 0;  ///< items visible at the start of the edge
+  std::size_t occupancy_after = 0;   ///< items visible at the start of the next
+  std::size_t pushed = 0;            ///< items staged this edge
+  std::size_t popped = 0;            ///< items consumed this edge
+  std::size_t capacity = 0;
+};
+
+template <typename T>
+class SyncFifo final : public Updatable {
+ public:
+  using Observer = std::function<void(const FifoEdgeInfo&)>;
+
+  SyncFifo(ClockDomain& clk, std::string name, std::size_t capacity)
+      : clk_(clk), name_(std::move(name)), capacity_(capacity) {
+    assert(capacity_ > 0);
+    clk_.addUpdatable(this);
+  }
+  ~SyncFifo() override { clk_.removeUpdatable(this); }
+
+  SyncFifo(const SyncFifo&) = delete;
+  SyncFifo& operator=(const SyncFifo&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+  ClockDomain& clk() { return clk_; }
+
+  /// Space check against *registered* occupancy: pops staged this edge do not
+  /// free space until the next edge.
+  bool canPush(std::size_t n = 1) const {
+    return committed_.size() + staged_.size() + n <= capacity_;
+  }
+
+  void push(T v) {
+    assert(canPush());
+    staged_.push_back(std::move(v));
+  }
+
+  /// Items currently poppable (committed minus already-popped-this-edge).
+  std::size_t size() const { return committed_.size() - pop_count_; }
+  bool empty() const { return size() == 0; }
+
+  /// Occupancy as seen at the start of this edge (what a probe samples).
+  std::size_t registeredSize() const { return committed_.size(); }
+
+  const T& front() const {
+    assert(!empty());
+    return committed_[pop_count_];
+  }
+
+  /// Random access beyond the front — used by the LMI lookahead engine to
+  /// inspect (without consuming) the first `size()` queued requests.
+  const T& at(std::size_t i) const {
+    assert(i < size());
+    return committed_[pop_count_ + i];
+  }
+
+  T pop() {
+    assert(!empty());
+    T v = std::move(committed_[pop_count_]);
+    ++pop_count_;
+    return v;
+  }
+
+  /// Remove the i-th visible element (0 = front) out of order.  Used by
+  /// controllers that service queued requests out of order (LMI lookahead).
+  /// Only elements not yet popped this edge may be removed.
+  T popAt(std::size_t i) {
+    assert(i < size());
+    if (i == 0) return pop();
+    T v = std::move(committed_[pop_count_ + i]);
+    committed_.erase(committed_.begin() +
+                     static_cast<std::ptrdiff_t>(pop_count_ + i));
+    ++ooo_pops_;
+    return v;
+  }
+
+  void setObserver(Observer obs) { observer_ = std::move(obs); }
+
+  void commit() override {
+    FifoEdgeInfo info;
+    info.occupancy_before = committed_.size() + ooo_pops_;
+    info.pushed = staged_.size();
+    info.popped = pop_count_ + ooo_pops_;
+    info.capacity = capacity_;
+
+    committed_.erase(committed_.begin(),
+                     committed_.begin() + static_cast<std::ptrdiff_t>(pop_count_));
+    for (auto& v : staged_) committed_.push_back(std::move(v));
+    staged_.clear();
+    pop_count_ = 0;
+    ooo_pops_ = 0;
+
+    info.occupancy_after = committed_.size();
+    if (observer_) observer_(info);
+  }
+
+ private:
+  ClockDomain& clk_;
+  std::string name_;
+  std::size_t capacity_;
+  std::deque<T> committed_;
+  std::vector<T> staged_;
+  std::size_t pop_count_ = 0;  ///< in-order pops staged this edge
+  std::size_t ooo_pops_ = 0;   ///< out-of-order removals staged this edge
+  Observer observer_;
+};
+
+/// Clock-domain-crossing FIFO.  Pushes are staged by the producer domain and
+/// commit at its edge; each committed item carries a visibility deadline of
+/// `sync_stages` consumer periods.  Pops happen from the consumer domain.
+/// The full flag seen by the producer is optimistic (no reverse-direction
+/// synchroniser latency); the paper's bridges size these FIFOs shallow, so the
+/// approximation only shaves a couple of stall cycles uniformly.
+template <typename T>
+class AsyncFifo final : public Updatable {
+ public:
+  AsyncFifo(ClockDomain& producer, ClockDomain& consumer, std::string name,
+            std::size_t capacity, unsigned sync_stages = 2)
+      : prod_(producer), cons_(consumer), name_(std::move(name)),
+        capacity_(capacity), sync_stages_(sync_stages) {
+    assert(capacity_ > 0);
+    prod_.addUpdatable(this);
+  }
+  ~AsyncFifo() override { prod_.removeUpdatable(this); }
+
+  AsyncFifo(const AsyncFifo&) = delete;
+  AsyncFifo& operator=(const AsyncFifo&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+
+  bool canPush(std::size_t n = 1) const {
+    return committed_.size() + staged_.size() + n <= capacity_;
+  }
+
+  void push(T v) {
+    assert(canPush());
+    staged_.push_back(std::move(v));
+  }
+
+  /// Number of items whose synchronisation delay has elapsed.
+  std::size_t readable() const {
+    Picos now = prod_.simulator().now();
+    std::size_t n = 0;
+    for (std::size_t i = pop_count_; i < committed_.size(); ++i) {
+      if (committed_[i].visible_at <= now) ++n;
+      else break;
+    }
+    return n;
+  }
+
+  bool canPop() const { return readable() > 0; }
+
+  const T& front() const {
+    assert(canPop());
+    return committed_[pop_count_].value;
+  }
+
+  T pop() {
+    assert(canPop());
+    T v = std::move(committed_[pop_count_].value);
+    ++pop_count_;
+    return v;
+  }
+
+  std::size_t sizeIgnoringSync() const { return committed_.size() - pop_count_; }
+
+  void commit() override {
+    committed_.erase(committed_.begin(),
+                     committed_.begin() + static_cast<std::ptrdiff_t>(pop_count_));
+    pop_count_ = 0;
+    Picos visible = prod_.simulator().now() +
+                    static_cast<Picos>(sync_stages_) * cons_.period();
+    for (auto& v : staged_) {
+      committed_.push_back(Entry{std::move(v), visible});
+    }
+    staged_.clear();
+  }
+
+ private:
+  struct Entry {
+    T value;
+    Picos visible_at;
+  };
+
+  ClockDomain& prod_;
+  ClockDomain& cons_;
+  std::string name_;
+  std::size_t capacity_;
+  unsigned sync_stages_;
+  std::deque<Entry> committed_;
+  std::vector<T> staged_;
+  std::size_t pop_count_ = 0;
+};
+
+}  // namespace mpsoc::sim

@@ -1,0 +1,17 @@
+#include "sim/log.hpp"
+
+namespace mpsoc::sim {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel lvl, const std::string& who,
+                   const std::string& msg) {
+  static const char* names[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", ""};
+  std::cerr << "[" << names[static_cast<int>(lvl)] << "] " << who << ": "
+            << msg << "\n";
+}
+
+}  // namespace mpsoc::sim

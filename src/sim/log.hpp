@@ -1,0 +1,41 @@
+#pragma once
+// Tiny leveled logger.  Tracing a cycle-accurate model produces torrents of
+// output, so the default level is Warn; tests and debugging sessions raise it.
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mpsoc::sim {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void setLevel(LogLevel lvl) { level_ = lvl; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel lvl) const { return lvl >= level_; }
+
+  void write(LogLevel lvl, const std::string& who, const std::string& msg);
+
+ private:
+  LogLevel level_ = LogLevel::Warn;
+};
+
+#define MPSOC_LOG(lvl, who, expr)                                      \
+  do {                                                                 \
+    if (::mpsoc::sim::Logger::instance().enabled(lvl)) {               \
+      std::ostringstream oss__;                                        \
+      oss__ << expr;                                                   \
+      ::mpsoc::sim::Logger::instance().write(lvl, who, oss__.str());   \
+    }                                                                  \
+  } while (0)
+
+#define MPSOC_TRACE(who, expr) MPSOC_LOG(::mpsoc::sim::LogLevel::Trace, who, expr)
+#define MPSOC_DEBUG(who, expr) MPSOC_LOG(::mpsoc::sim::LogLevel::Debug, who, expr)
+#define MPSOC_INFO(who, expr) MPSOC_LOG(::mpsoc::sim::LogLevel::Info, who, expr)
+#define MPSOC_WARN(who, expr) MPSOC_LOG(::mpsoc::sim::LogLevel::Warn, who, expr)
+
+}  // namespace mpsoc::sim

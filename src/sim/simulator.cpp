@@ -1,0 +1,82 @@
+#include "sim/simulator.hpp"
+
+#include <limits>
+
+#include "sim/component.hpp"
+
+namespace mpsoc::sim {
+
+ClockDomain& Simulator::addClockDomain(const std::string& name, double mhz) {
+  domains_.push_back(
+      std::make_unique<ClockDomain>(*this, name, periodFromMhz(mhz)));
+  return *domains_.back();
+}
+
+bool Simulator::step() {
+  if (domains_.empty()) return false;
+
+  Picos t = std::numeric_limits<Picos>::max();
+  for (const auto& d : domains_) t = std::min(t, d->nextEdge());
+  now_ps_ = t;
+
+  // Phase 1: evaluate every domain whose edge coincides with t.
+  for (const auto& d : domains_) {
+    if (d->nextEdge() == t) d->evaluateEdge();
+  }
+  // Phase 2: commit their staged state.
+  for (const auto& d : domains_) {
+    if (d->nextEdge() == t) d->commitEdge();
+  }
+  return true;
+}
+
+Picos Simulator::run(Picos max_time_ps, const std::function<bool()>& stop) {
+  while (now_ps_ < max_time_ps) {
+    if (stop && stop()) break;
+    if (!step()) break;
+  }
+  return now_ps_;
+}
+
+Picos Simulator::runUntilIdle(Picos max_time_ps) {
+  // A component may become non-idle again one edge after its neighbours push
+  // state to it, so require a few consecutive all-idle instants before
+  // declaring convergence.
+  constexpr int kQuiesceEdges = 8;
+  int idle_streak = 0;
+  Picos last_active = now_ps_;
+  auto comps = allComponents();
+  while (now_ps_ < max_time_ps) {
+    if (!step()) break;
+    bool all_idle = true;
+    for (Component* c : comps) {
+      if (!c->idle()) {
+        all_idle = false;
+        break;
+      }
+    }
+    if (all_idle) {
+      if (++idle_streak >= kQuiesceEdges) break;
+    } else {
+      idle_streak = 0;
+      last_active = now_ps_;
+    }
+  }
+  return last_active;
+}
+
+void Simulator::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (Component* c : allComponents()) c->endOfSimulation();
+}
+
+std::vector<Component*> Simulator::allComponents() const {
+  std::vector<Component*> out;
+  for (const auto& d : domains_) {
+    for (Component* c : d->components()) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace mpsoc::sim

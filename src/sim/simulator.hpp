@@ -1,0 +1,68 @@
+#pragma once
+// Global scheduler.  Owns the clock domains and advances the picosecond
+// timeline edge by edge.  Every edge runs in two phases:
+//
+//   phase 1 (evaluate): all components of all domains whose edge falls on the
+//                       current instant run evaluate(); they see only state
+//                       committed at earlier edges;
+//   phase 2 (commit):   all staged state (SyncFifo pushes/pops, registers) of
+//                       those domains becomes visible.
+//
+// This two-phase discipline makes results independent of component
+// registration order and is the custom-kernel equivalent of the SystemC
+// delta-cycle semantics the paper's virtual platform relies on.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/time.hpp"
+
+namespace mpsoc::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Create (and own) a clock domain.  `mhz` need not be integral.
+  ClockDomain& addClockDomain(const std::string& name, double mhz);
+
+  /// Current global time.  During an edge this is the instant of that edge.
+  Picos now() const { return now_ps_; }
+
+  /// Advance one edge instant (possibly several coincident domain edges).
+  /// Returns false when there are no domains.
+  bool step();
+
+  /// Run until `max_time_ps` (absolute) or until `stop` returns true (checked
+  /// between edges).  Returns the final time.
+  Picos run(Picos max_time_ps,
+            const std::function<bool()>& stop = nullptr);
+
+  /// Run until every registered component reports idle() for
+  /// `quiesce_edges` consecutive edge instants, or until max_time_ps.
+  /// Returns the time of the last non-idle edge (the execution time).
+  Picos runUntilIdle(Picos max_time_ps);
+
+  /// Invoke endOfSimulation() on every component exactly once.
+  void finish();
+
+  const std::vector<std::unique_ptr<ClockDomain>>& domains() const {
+    return domains_;
+  }
+
+  /// All components across all domains (for idle checks / finish hooks).
+  std::vector<Component*> allComponents() const;
+
+ private:
+  std::vector<std::unique_ptr<ClockDomain>> domains_;
+  Picos now_ps_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace mpsoc::sim

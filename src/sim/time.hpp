@@ -1,0 +1,32 @@
+#pragma once
+// Simulation time base.
+//
+// All global time is kept in picoseconds so that clock domains of arbitrary
+// frequency (400 MHz CPU, 250/200/133 MHz bus layers, SDRAM clocks) can be
+// composed exactly.  Each clock domain additionally exposes a local cycle
+// counter.
+
+#include <cstdint>
+
+namespace mpsoc::sim {
+
+/// Absolute simulation time in picoseconds.
+using Picos = std::uint64_t;
+
+/// Local cycle count within one clock domain.
+using Cycle = std::uint64_t;
+
+inline constexpr Picos kPicosPerNanosecond = 1000;
+
+/// Clock period in picoseconds for a frequency given in MHz.
+/// 400 MHz -> 2500 ps, 250 MHz -> 4000 ps, 200 MHz -> 5000 ps.
+constexpr Picos periodFromMhz(double mhz) {
+  return static_cast<Picos>(1.0e6 / mhz + 0.5);
+}
+
+/// Frequency in MHz for a period in picoseconds (for reporting).
+constexpr double mhzFromPeriod(Picos period_ps) {
+  return 1.0e6 / static_cast<double>(period_ps);
+}
+
+}  // namespace mpsoc::sim

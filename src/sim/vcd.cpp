@@ -1,0 +1,84 @@
+#include "sim/vcd.hpp"
+
+#include <cassert>
+
+namespace mpsoc::sim {
+
+std::string VcdWriter::makeId(std::size_t index) {
+  // Printable identifier alphabet per the VCD spec (33..126).
+  std::string id;
+  std::size_t n = index;
+  do {
+    id += static_cast<char>(33 + (n % 94));
+    n /= 94;
+  } while (n > 0);
+  return id;
+}
+
+VcdWriter::SignalId VcdWriter::addSignal(const std::string& name,
+                                         unsigned width_bits) {
+  assert(!header_done_ && "register all signals before the first sample");
+  Signal s;
+  s.name = name;
+  s.width = width_bits ? width_bits : 1;
+  s.id = makeId(signals_.size());
+  signals_.push_back(std::move(s));
+  return signals_.size() - 1;
+}
+
+void VcdWriter::writeHeader() {
+  if (header_done_) return;
+  header_done_ = true;
+  os_ << "$date mpsocsim $end\n";
+  os_ << "$version mpsocsim vcd $end\n";
+  os_ << "$timescale 1ps $end\n";
+  os_ << "$scope module mpsocsim $end\n";
+  for (const auto& s : signals_) {
+    std::string flat = s.name;
+    for (auto& c : flat) {
+      if (c == '.' || c == ' ') c = '_';
+    }
+    os_ << "$var wire " << s.width << " " << s.id << " " << flat << " $end\n";
+  }
+  os_ << "$upscope $end\n";
+  os_ << "$enddefinitions $end\n";
+}
+
+void VcdWriter::emitValue(const Signal& s, std::uint64_t v) {
+  if (s.width == 1) {
+    os_ << (v ? '1' : '0') << s.id << "\n";
+    return;
+  }
+  os_ << "b";
+  bool started = false;
+  for (int bit = 63; bit >= 0; --bit) {
+    const bool one = (v >> bit) & 1u;
+    if (one) started = true;
+    if (started) os_ << (one ? '1' : '0');
+  }
+  if (!started) os_ << '0';
+  os_ << " " << s.id << "\n";
+}
+
+void VcdWriter::sample(Picos time_ps, const std::vector<std::uint64_t>& values) {
+  writeHeader();
+  assert(values.size() >= signals_.size());
+  bool time_written = false;
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    Signal& s = signals_[i];
+    if (s.seen && s.last == values[i]) continue;
+    if (!time_written) {
+      os_ << "#" << time_ps << "\n";
+      time_written = true;
+    }
+    emitValue(s, values[i]);
+    s.last = values[i];
+    s.seen = true;
+  }
+  if (time_written) {
+    last_time_ = time_ps;
+    any_sample_ = true;
+  }
+}
+
+}  // namespace mpsoc::sim

@@ -1,0 +1,79 @@
+#pragma once
+// Progress watchdog: detects livelock/deadlock in a platform model during
+// development.  The watchdog samples a user-supplied progress counter (e.g.
+// total retired transactions) every `check_interval` cycles; if the counter
+// has not advanced while the system claims to be busy (some component
+// non-idle), it fires a callback with a diagnostic string.
+//
+// Cycle-accurate interconnect models deadlock in characteristic ways —
+// response-channel back-pressure loops, bridges waiting on each other,
+// masters stuck on a response that never comes — and a run that silently
+// spins to its time limit wastes hours; the watchdog turns that into an
+// immediate, attributable failure.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+
+namespace mpsoc::sim {
+
+class Watchdog final : public Component {
+ public:
+  using ProgressFn = std::function<std::uint64_t()>;
+  using AlarmFn = std::function<void(const std::string&)>;
+
+  Watchdog(ClockDomain& clk, std::string name, ProgressFn progress,
+           Cycle check_interval = 10'000)
+      : Component(clk, std::move(name)), progress_(std::move(progress)),
+        interval_(check_interval ? check_interval : 1) {}
+
+  void setAlarm(AlarmFn alarm) { alarm_ = std::move(alarm); }
+
+  /// True once a stall has been detected (sticky).
+  bool fired() const { return fired_; }
+  std::uint64_t checksPerformed() const { return checks_; }
+
+  void evaluate() override {
+    if (now() % interval_ != 0) return;
+    ++checks_;
+    const std::uint64_t p = progress_();
+    if (checks_ > 1 && p == last_progress_) {
+      // No progress over a whole interval: is anything still busy?
+      bool busy = false;
+      for (const auto& d : clk_.simulator().domains()) {
+        for (const Component* c : d->components()) {
+          if (c != this && !c->idle()) {
+            busy = true;
+            break;
+          }
+        }
+        if (busy) break;
+      }
+      if (busy && !fired_) {
+        fired_ = true;
+        const std::string msg =
+            name() + ": no progress for " + std::to_string(interval_) +
+            " cycles at t=" + std::to_string(clk_.simulator().now()) +
+            " ps while components are busy (possible deadlock)";
+        if (alarm_) alarm_(msg);
+      }
+    }
+    last_progress_ = p;
+  }
+
+  /// The watchdog itself never keeps the simulation alive.
+  bool idle() const override { return true; }
+
+ private:
+  ProgressFn progress_;
+  AlarmFn alarm_;
+  Cycle interval_;
+  std::uint64_t last_progress_ = 0;
+  std::uint64_t checks_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace mpsoc::sim

@@ -1,0 +1,6 @@
+#include "stats/probes.hpp"
+
+// Probes are header-only today; this translation unit anchors the library and
+// is the natural home for future out-of-line probe logic.
+
+namespace mpsoc::stats {}

@@ -1,0 +1,34 @@
+#pragma once
+// Plain-text table / CSV rendering for the experiment harnesses.  Every bench
+// binary prints the rows/series of one paper figure or table through this.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mpsoc::stats {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  void setHeader(std::vector<std::string> header) { header_ = std::move(header); }
+  void addRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print(std::ostream& os) const;
+  void printCsv(std::ostream& os) const;
+
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double -> string ("3.142").
+std::string fmt(double v, int precision = 3);
+/// Percentage with sign conventions used in the paper's plots ("47.0%").
+std::string fmtPct(double frac, int precision = 1);
+
+}  // namespace mpsoc::stats

@@ -1,0 +1,175 @@
+#pragma once
+// InterconnectBase: common structure shared by the STBus node, AHB layer and
+// AXI interconnect engines — port registries, address decoding, outstanding
+// transaction tracking, and the response-beat streaming helper that turns a
+// memory's BeatSchedule into cycle-by-cycle channel occupancy.
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/component.hpp"
+#include "stats/probes.hpp"
+#include "txn/ports.hpp"
+#include "txn/transaction.hpp"
+
+namespace mpsoc::txn {
+
+class InterconnectBase : public sim::Component {
+ public:
+  InterconnectBase(sim::ClockDomain& clk, std::string name)
+      : sim::Component(clk, std::move(name)) {}
+
+  /// Register a master-side port.  Returns its initiator index.
+  std::size_t addInitiator(InitiatorPort& p) {
+    initiators_.push_back(&p);
+    return initiators_.size() - 1;
+  }
+
+  /// Register a slave-side port covering [base, base+size).  Returns its
+  /// target index.
+  std::size_t addTarget(TargetPort& p, std::uint64_t base, std::uint64_t size) {
+    targets_.push_back(&p);
+    amap_.add(base, size, targets_.size() - 1);
+    return targets_.size() - 1;
+  }
+
+  std::size_t numInitiators() const { return initiators_.size(); }
+  std::size_t numTargets() const { return targets_.size(); }
+  const AddressMap& addressMap() const { return amap_; }
+
+  /// Decode; unmapped addresses are a configuration error.
+  std::size_t route(std::uint64_t addr) const {
+    auto t = amap_.lookup(addr);
+    assert(t && "address does not decode to any target");
+    return *t;
+  }
+
+  /// Total number of requests accepted from initiators.
+  std::uint64_t grantsIssued() const { return grants_; }
+
+ protected:
+  /// One in-flight (accepted, response pending) transaction.
+  struct Inflight {
+    std::uint64_t req_id;
+    std::size_t initiator;
+    std::size_t target;
+  };
+
+  /// Record acceptance of a non-posted request; posted writes are not
+  /// tracked (no response will ever arrive).
+  void trackAccept(const RequestPtr& req, std::size_t initiator,
+                   std::size_t target) {
+    ++grants_;
+    if (req->posted && req->op == Opcode::Write) return;
+    inflight_initiator_[req->id] = initiator;
+    order_[initiator].push_back(Inflight{req->id, initiator, target});
+  }
+
+  /// Initiator a response must return to.
+  std::size_t initiatorOf(const ResponsePtr& rsp) const {
+    auto it = inflight_initiator_.find(rsp->req->id);
+    assert(it != inflight_initiator_.end() && "response for unknown request");
+    return it->second;
+  }
+
+  /// Oldest outstanding request id for an initiator (in-order delivery rule
+  /// of STBus Type 2), or 0 when none.
+  std::uint64_t oldestInflight(std::size_t initiator) const {
+    auto it = order_.find(initiator);
+    if (it == order_.end() || it->second.empty()) return 0;
+    return it->second.front().req_id;
+  }
+
+  std::size_t inflightCount(std::size_t initiator) const {
+    auto it = order_.find(initiator);
+    return it == order_.end() ? 0 : it->second.size();
+  }
+
+  bool anyInflight() const { return !inflight_initiator_.empty(); }
+
+  /// Retire a delivered response from the tracking tables.
+  void retire(const ResponsePtr& rsp) {
+    auto it = inflight_initiator_.find(rsp->req->id);
+    assert(it != inflight_initiator_.end());
+    std::size_t ini = it->second;
+    inflight_initiator_.erase(it);
+    auto& dq = order_[ini];
+    for (auto i = dq.begin(); i != dq.end(); ++i) {
+      if (i->req_id == rsp->req->id) {
+        dq.erase(i);
+        break;
+      }
+    }
+  }
+
+  /// An in-progress response transfer on a response channel.
+  struct RspStream {
+    ResponsePtr rsp;
+    std::size_t target = 0;     ///< source target port
+    std::size_t initiator = 0;  ///< destination initiator port
+    std::uint32_t next_beat = 0;
+
+    bool active() const { return rsp != nullptr; }
+    bool beatDue(sim::Picos now) const {
+      return now >= rsp->sched.beatTime(next_beat);
+    }
+    bool lastBeat() const { return next_beat + 1 == rsp->beats; }
+  };
+
+  /// Advance a response stream by at most one beat this cycle.
+  ///
+  /// Returns true if the stream completed (response delivered to the
+  /// initiator and removed from the target FIFO).  `chan` records transfer /
+  /// held cycles.  The caller guarantees `s.rsp` is still resident in
+  /// `targets_[s.target]->rsp` (front or deeper; it is located by identity on
+  /// completion).
+  bool streamBeat(RspStream& s, stats::ChannelUtilization& chan) {
+    const sim::Picos now = clk_.simulator().now();
+    if (!s.beatDue(now)) {
+      chan.markHeld();
+      return false;
+    }
+    if (s.lastBeat()) {
+      auto& ini = *initiators_[s.initiator];
+      if (!ini.rsp.canPush()) {
+        chan.markHeld();  // back-pressure from the master's response queue
+        return false;
+      }
+      chan.markTransfer();
+      popResponseByIdentity(s.target, s.rsp);
+      ini.rsp.push(s.rsp);
+      retire(s.rsp);
+      s.rsp.reset();
+      return true;
+    }
+    chan.markTransfer();
+    ++s.next_beat;
+    return false;
+  }
+
+  void popResponseByIdentity(std::size_t target, const ResponsePtr& rsp) {
+    auto& fifo = targets_[target]->rsp;
+    for (std::size_t i = 0; i < fifo.size(); ++i) {
+      if (fifo.at(i) == rsp) {
+        fifo.popAt(i);
+        return;
+      }
+    }
+    assert(false && "response vanished from target FIFO");
+  }
+
+  std::vector<InitiatorPort*> initiators_;
+  std::vector<TargetPort*> targets_;
+  AddressMap amap_;
+  std::uint64_t grants_ = 0;
+
+ private:
+  std::unordered_map<std::uint64_t, std::size_t> inflight_initiator_;
+  std::unordered_map<std::size_t, std::deque<Inflight>> order_;
+};
+
+}  // namespace mpsoc::txn

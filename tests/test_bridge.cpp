@@ -1,0 +1,193 @@
+// Bridge tests: store-and-forward writes, blocking vs split reads, clock and
+// width conversion, multi-layer topologies (two STBus nodes joined by a
+// GenConv, AHB-AHB blocking behaviour of Section 4.2).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ahb/ahb_layer.hpp"
+#include "bridge/bridge.hpp"
+#include "iptg/iptg.hpp"
+#include "mem/simple_memory.hpp"
+#include "sim/simulator.hpp"
+#include "stbus/node.hpp"
+#include "txn/ports.hpp"
+
+namespace {
+
+using namespace mpsoc;
+
+// Two-layer rig:  IPTGs -> bus A -> bridge -> bus B -> memory.
+struct TwoLayerRig {
+  enum class Proto { Stbus, Ahb };
+
+  sim::Simulator sim;
+  sim::ClockDomain& clk_a;
+  sim::ClockDomain& clk_b;
+  std::unique_ptr<txn::InterconnectBase> bus_a;
+  std::unique_ptr<txn::InterconnectBase> bus_b;
+  std::unique_ptr<bridge::Bridge> br;
+  std::vector<std::unique_ptr<txn::InitiatorPort>> iports;
+  std::unique_ptr<txn::TargetPort> mport;
+  std::vector<std::unique_ptr<iptg::Iptg>> gens;
+  std::unique_ptr<mem::SimpleMemory> memory;
+
+  TwoLayerRig(Proto proto, bridge::BridgeConfig bcfg, std::size_t n_masters,
+              unsigned wait_states, std::uint64_t txns,
+              double freq_a = 200.0, double freq_b = 250.0,
+              double read_fraction = 1.0, bool posted_writes = true)
+      : clk_a(sim.addClockDomain("layerA", freq_a)),
+        clk_b(sim.addClockDomain("layerB", freq_b)) {
+    if (proto == Proto::Stbus) {
+      bus_a = std::make_unique<stbus::StbusNode>(clk_a, "na",
+                                                 stbus::StbusNodeConfig{});
+      bus_b = std::make_unique<stbus::StbusNode>(clk_b, "nb",
+                                                 stbus::StbusNodeConfig{});
+    } else {
+      bus_a = std::make_unique<ahb::AhbLayer>(clk_a, "na");
+      bus_b = std::make_unique<ahb::AhbLayer>(clk_b, "nb");
+    }
+    br = std::make_unique<bridge::Bridge>(clk_a, clk_b, "br", bcfg);
+    bus_a->addTarget(br->slavePort(), 0x0, 1ull << 30);
+    bus_b->addInitiator(br->masterPort());
+
+    mport = std::make_unique<txn::TargetPort>(clk_b, "mem", 4, 8);
+    bus_b->addTarget(*mport, 0x0, 1ull << 30);
+    memory = std::make_unique<mem::SimpleMemory>(
+        clk_b, "mem", *mport, mem::SimpleMemoryConfig{wait_states});
+
+    for (std::size_t i = 0; i < n_masters; ++i) {
+      iports.push_back(std::make_unique<txn::InitiatorPort>(
+          clk_a, "m" + std::to_string(i), 2, 8));
+      bus_a->addInitiator(*iports.back());
+      iptg::IptgConfig icfg;
+      icfg.seed = 31 + i;
+      iptg::AgentProfile prof;
+      prof.name = "a";
+      prof.read_fraction = read_fraction;
+      prof.burst_beats = {{8, 1.0}};
+      prof.base_addr = (1ull << 22) * i;
+      prof.region_size = 1 << 20;
+      prof.outstanding = 4;
+      prof.posted_writes = posted_writes;
+      prof.total_transactions = txns;
+      icfg.agents.push_back(prof);
+      gens.push_back(std::make_unique<iptg::Iptg>(
+          clk_a, "g" + std::to_string(i), *iports.back(), icfg));
+    }
+  }
+
+  sim::Picos run() { return sim.runUntilIdle(1'000'000'000'000ull); }
+
+  bool allDone() const {
+    for (const auto& g : gens) {
+      if (!g->done()) return false;
+    }
+    return true;
+  }
+};
+
+TEST(Bridge, ReadsCrossTwoStbusLayers) {
+  TwoLayerRig rig(TwoLayerRig::Proto::Stbus,
+                  bridge::genConvConfig(4, 8), 2, 1, 40);
+  rig.run();
+  EXPECT_TRUE(rig.allDone());
+  EXPECT_EQ(rig.br->readsForwarded(), 80u);
+  EXPECT_EQ(rig.memory->accessesServed(), 80u);
+}
+
+TEST(Bridge, WidthConversionRepacksBeats) {
+  // 32-bit side A, 64-bit side B: an 8-beat burst becomes 4 beats at the
+  // memory, but the full byte count is preserved.
+  TwoLayerRig rig(TwoLayerRig::Proto::Stbus,
+                  bridge::genConvConfig(4, 8), 1, 1, 20);
+  rig.run();
+  EXPECT_TRUE(rig.allDone());
+  EXPECT_EQ(rig.memory->beatsServed(), 20u * 4u);  // 8 beats x4B -> 4 beats x8B
+}
+
+TEST(Bridge, WritesStoreAndForward) {
+  TwoLayerRig rig(TwoLayerRig::Proto::Stbus,
+                  bridge::genConvConfig(4, 8), 2, 1, 30,
+                  200.0, 250.0, 0.0, false);  // non-posted writes
+  rig.run();
+  EXPECT_TRUE(rig.allDone());
+  EXPECT_EQ(rig.br->writesForwarded(), 60u);
+  EXPECT_EQ(rig.memory->accessesServed(), 60u);
+}
+
+TEST(Bridge, SplitBridgeFasterThanBlockingBridge) {
+  // Guideline 3(ii): with several outstanding-capable initiators, a split
+  // (GenConv-like) bridge clearly outperforms a lightweight blocking one.
+  // Fast memory: the blocking round trip dominates each transaction, so the
+  // split bridge's pipelining pays off most.
+  TwoLayerRig blocking(TwoLayerRig::Proto::Stbus,
+                       bridge::lightweightBridgeConfig(4, 4), 3, 1, 60);
+  TwoLayerRig split(TwoLayerRig::Proto::Stbus, bridge::genConvConfig(4, 4), 3,
+                    1, 60);
+  const double t_block = static_cast<double>(blocking.run());
+  const double t_split = static_cast<double>(split.run());
+  EXPECT_TRUE(blocking.allDone());
+  EXPECT_TRUE(split.allDone());
+  EXPECT_LT(t_split / t_block, 0.7);
+}
+
+TEST(Bridge, AhbToAhbBlocksSourceLayer) {
+  // Section 4.2: AHB-AHB bridges are blocking on each transaction; the
+  // source layer stalls for the full round trip.  The same workload through
+  // split STBus layers must be much faster.
+  TwoLayerRig ahb(TwoLayerRig::Proto::Ahb,
+                  bridge::lightweightBridgeConfig(4, 4), 3, 1, 50);
+  TwoLayerRig stb(TwoLayerRig::Proto::Stbus, bridge::genConvConfig(4, 4), 3, 1,
+                  50);
+  const double t_ahb = static_cast<double>(ahb.run());
+  const double t_stb = static_cast<double>(stb.run());
+  EXPECT_TRUE(ahb.allDone());
+  EXPECT_TRUE(stb.allDone());
+  EXPECT_LT(t_stb / t_ahb, 0.8);
+}
+
+TEST(Bridge, ClockDomainCrossingPreservesAllTransactions) {
+  // Strongly asymmetric frequencies stress the CDC FIFOs in both directions.
+  TwoLayerRig rig(TwoLayerRig::Proto::Stbus, bridge::genConvConfig(4, 8), 3, 1,
+                  50, 400.0, 100.0, 0.7);
+  rig.run();
+  EXPECT_TRUE(rig.allDone());
+  for (const auto& g : rig.gens) EXPECT_EQ(g->retired(), 50u);
+}
+
+TEST(Bridge, InOrderDeliveryOnSideA) {
+  // Responses must come back in acceptance order per bridge even when side B
+  // could reorder; verified implicitly by Type-2 in-order delivery working
+  // without deadlock.
+  stbus::StbusNodeConfig t2;
+  t2.type = stbus::StbusType::T2;
+  sim::Simulator sim;
+  auto& clk_a = sim.addClockDomain("a", 200.0);
+  auto& clk_b = sim.addClockDomain("b", 200.0);
+  stbus::StbusNode na(clk_a, "na", t2);
+  stbus::StbusNode nb(clk_b, "nb", stbus::StbusNodeConfig{});
+  bridge::Bridge br(clk_a, clk_b, "br", bridge::genConvConfig(4, 4));
+  na.addTarget(br.slavePort(), 0x0, 1ull << 30);
+  nb.addInitiator(br.masterPort());
+  txn::TargetPort mp(clk_b, "mem", 4, 8);
+  nb.addTarget(mp, 0x0, 1ull << 30);
+  mem::SimpleMemory memory(clk_b, "mem", mp, {1});
+
+  txn::InitiatorPort ip(clk_a, "m0", 2, 8);
+  na.addInitiator(ip);
+  iptg::IptgConfig icfg;
+  iptg::AgentProfile prof;
+  prof.name = "a";
+  prof.burst_beats = {{4, 1.0}};
+  prof.outstanding = 4;
+  prof.total_transactions = 60;
+  icfg.agents.push_back(prof);
+  iptg::Iptg gen(clk_a, "g0", ip, icfg);
+
+  sim.runUntilIdle(1'000'000'000'000ull);
+  EXPECT_TRUE(gen.done());
+}
+
+}  // namespace

@@ -1,0 +1,255 @@
+// SDRAM device and LMI controller tests: command timing, row policy,
+// refresh, lookahead, opcode merging, back-pressure and the Fig. 6 FIFO
+// statistics plumbing.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "iptg/iptg.hpp"
+#include "mem/lmi_controller.hpp"
+#include "mem/sdram.hpp"
+#include "sim/simulator.hpp"
+#include "stats/probes.hpp"
+#include "stbus/node.hpp"
+#include "txn/ports.hpp"
+
+namespace {
+
+using namespace mpsoc;
+
+constexpr sim::Picos kClk = 4000;  // 250 MHz
+
+mem::SdramTiming fastTiming() {
+  mem::SdramTiming t;
+  t.t_refi = 100000;  // keep refreshes out of short unit tests
+  return t;
+}
+
+TEST(SdramDevice, RowHitFasterThanMissFasterThanConflict) {
+  mem::SdramDevice dev(fastTiming(), {}, kClk);
+  // Cold access: row miss (ACT + tRCD + CL).
+  auto a = dev.schedule(0x0000, 8, false, 0);
+  EXPECT_EQ(a.outcome, mem::RowOutcome::Miss);
+  // Same row: hit.
+  auto b = dev.schedule(0x0100, 8, false, a.data_end);
+  EXPECT_EQ(b.outcome, mem::RowOutcome::Hit);
+  // Different row, same bank: conflict (PRE + ACT + CL).
+  const std::uint64_t conflict_addr = 2048ull * 4;  // next row in bank 0
+  auto c = dev.schedule(conflict_addr, 8, false, b.data_end);
+  EXPECT_EQ(c.outcome, mem::RowOutcome::Conflict);
+
+  const sim::Picos lat_a = a.first_beat - 0;
+  const sim::Picos lat_b = b.first_beat - a.data_end;
+  const sim::Picos lat_c = c.first_beat - b.data_end;
+  EXPECT_LT(lat_b, lat_a);
+  EXPECT_LT(lat_a, lat_c);
+  EXPECT_EQ(dev.rowHits(), 1u);
+  EXPECT_EQ(dev.rowMisses(), 1u);
+  EXPECT_EQ(dev.rowConflicts(), 1u);
+}
+
+TEST(SdramDevice, DdrTransfersTwoBeatsPerClock) {
+  mem::SdramTiming t = fastTiming();
+  t.ddr = true;
+  mem::SdramDevice ddr(t, {}, kClk);
+  t.ddr = false;
+  mem::SdramDevice sdr(t, {}, kClk);
+  auto a = ddr.schedule(0, 16, false, 0);
+  auto b = sdr.schedule(0, 16, false, 0);
+  EXPECT_EQ(a.beat_period * 2, b.beat_period);
+  EXPECT_EQ(a.data_end - a.first_beat, (b.data_end - b.first_beat) / 2);
+}
+
+TEST(SdramDevice, RefreshClosesAllBanks) {
+  mem::SdramTiming t = fastTiming();
+  t.t_refi = 50;
+  mem::SdramDevice dev(t, {}, kClk);
+  dev.schedule(0, 8, false, 0);  // opens bank 0
+  EXPECT_TRUE(dev.wouldHit(0x40));
+  EXPECT_TRUE(dev.maybeRefresh(51 * kClk));
+  EXPECT_FALSE(dev.wouldHit(0x40));
+  EXPECT_EQ(dev.refreshes(), 1u);
+}
+
+TEST(SdramDevice, BankInterleavingHidesActivates) {
+  // Two streams in different banks: the second bank's ACTIVATE overlaps the
+  // first bank's data transfer, so back-to-back different-bank bursts finish
+  // sooner than same-bank different-row bursts.
+  mem::SdramDevice dev_a(fastTiming(), {}, kClk);
+  auto a1 = dev_a.schedule(0, 8, false, 0);
+  auto a2 = dev_a.schedule(2048, 8, false, a1.first_beat);  // bank 1
+  mem::SdramDevice dev_b(fastTiming(), {}, kClk);
+  auto b1 = dev_b.schedule(0, 8, false, 0);
+  auto b2 = dev_b.schedule(2048ull * 4, 8, false, b1.first_beat);  // bank 0
+  EXPECT_LT(a2.data_end, b2.data_end);
+}
+
+// ---------------------------------------------------------------------------
+
+struct LmiRig {
+  sim::Simulator sim;
+  sim::ClockDomain& clk;
+  stbus::StbusNode node;
+  std::vector<std::unique_ptr<txn::InitiatorPort>> iports;
+  std::unique_ptr<txn::TargetPort> mport;
+  std::vector<std::unique_ptr<iptg::Iptg>> gens;
+  std::unique_ptr<mem::LmiController> lmi;
+
+  LmiRig(mem::LmiConfig cfg, std::size_t n_masters, std::uint64_t txns,
+         std::size_t fifo_depth = 8, iptg::AddressPattern pattern =
+             iptg::AddressPattern::Sequential,
+         std::uint64_t message_len = 1)
+      : clk(sim.addClockDomain("bus", 250.0)),
+        node(clk, "n8", stbus::StbusNodeConfig{}) {
+    mport = std::make_unique<txn::TargetPort>(clk, "lmi", fifo_depth, 16);
+    node.addTarget(*mport, 0x0, 1ull << 31);
+    lmi = std::make_unique<mem::LmiController>(clk, "lmi", *mport, cfg);
+    for (std::size_t i = 0; i < n_masters; ++i) {
+      iports.push_back(std::make_unique<txn::InitiatorPort>(
+          clk, "m" + std::to_string(i), 2, 8));
+      node.addInitiator(*iports.back());
+      iptg::IptgConfig icfg;
+      icfg.seed = 7 + i;
+      icfg.bytes_per_beat = 8;
+      iptg::AgentProfile prof;
+      prof.name = "a";
+      prof.burst_beats = {{8, 1.0}};
+      prof.pattern = pattern;
+      prof.base_addr = (1ull << 24) * i;
+      prof.region_size = 1 << 22;
+      prof.outstanding = 4;
+      prof.total_transactions = txns;
+      prof.message_len = message_len;
+      icfg.agents.push_back(prof);
+      gens.push_back(std::make_unique<iptg::Iptg>(
+          clk, "g" + std::to_string(i), *iports.back(), icfg));
+    }
+  }
+
+  sim::Picos run() { return sim.runUntilIdle(1'000'000'000'000ull); }
+
+  bool allDone() const {
+    for (const auto& g : gens) {
+      if (!g->done()) return false;
+    }
+    return true;
+  }
+};
+
+TEST(LmiController, ServesAllRequests) {
+  LmiRig rig(mem::LmiConfig{}, 3, 60);
+  rig.run();
+  EXPECT_TRUE(rig.allDone());
+  EXPECT_EQ(rig.lmi->requestsServed(), 180u);
+}
+
+TEST(LmiController, FirstReadDataLatencyCalibratedToEleven) {
+  // The paper: "11 cycles to get the first read data word since the request
+  // was sampled" at the bus interface of the LMI.  A single cold read from
+  // an otherwise idle controller: measure created->completed and derive the
+  // first-beat latency from the schedule.
+  mem::LmiConfig cfg;
+  cfg.timing.t_refi = 1'000'000;
+  LmiRig rig(cfg, 1, 1);
+  rig.run();
+  ASSERT_TRUE(rig.allDone());
+  const auto& lat = rig.gens[0]->latency().latencyNs();
+  // 8-beat DDR burst: first data at ~11 cycles, last beat 3.5 cycles later,
+  // response delivery on the node adds the streaming itself (8 bus cycles).
+  // created->completed therefore lands around 11 + 8 = ~19-21 bus cycles.
+  const double cycles = lat.mean() * 1000.0 / static_cast<double>(4000);
+  EXPECT_GT(cycles, 14.0);
+  EXPECT_LT(cycles, 26.0);
+}
+
+TEST(LmiController, LookaheadImprovesRowHitRate) {
+  // Two sequential streams interleave at the controller; lookahead lets the
+  // engine stay in an open row instead of ping-ponging between rows.
+  mem::LmiConfig with;
+  with.lookahead = 6;
+  with.opcode_merging = false;
+  mem::LmiConfig without;
+  without.lookahead = 1;
+  without.opcode_merging = false;
+
+  LmiRig a(with, 2, 150);
+  LmiRig b(without, 2, 150);
+  a.run();
+  b.run();
+  EXPECT_TRUE(a.allDone());
+  EXPECT_TRUE(b.allDone());
+  EXPECT_GE(a.lmi->device().rowHitRate(), b.lmi->device().rowHitRate());
+}
+
+TEST(LmiController, OpcodeMergingFusesContiguousRequests) {
+  mem::LmiConfig cfg;
+  cfg.opcode_merging = true;
+  cfg.merge_limit = 4;
+  // Several masters keep the input FIFO under pressure; message-based
+  // arbitration delivers each master's 4 sequential bursts back-to-back, so
+  // the engine finds contiguous same-opcode runs to fuse.
+  LmiRig rig(cfg, 3, 80, 8, iptg::AddressPattern::Sequential, 4);
+  rig.run();
+  EXPECT_TRUE(rig.allDone());
+  EXPECT_GT(rig.lmi->mergeRatio(), 1.3);
+  EXPECT_LT(rig.lmi->accessesIssued(), rig.lmi->requestsServed());
+}
+
+TEST(LmiController, MergingReducesExecutionTime) {
+  mem::LmiConfig on;
+  on.opcode_merging = true;
+  mem::LmiConfig off;
+  off.opcode_merging = false;
+  LmiRig a(on, 1, 120, 8, iptg::AddressPattern::Sequential, 4);
+  LmiRig b(off, 1, 120, 8, iptg::AddressPattern::Sequential, 4);
+  const double ta = static_cast<double>(a.run());
+  const double tb = static_cast<double>(b.run());
+  EXPECT_LE(ta, tb);
+}
+
+TEST(LmiController, FifoProbeBucketsPartitionTime) {
+  mem::LmiConfig cfg;
+  LmiRig rig(cfg, 3, 100, 4);
+  stats::FifoStateProbe probe;
+  probe.attach(rig.mport->req);
+  rig.run();
+  const auto& b = probe.total();
+  EXPECT_GT(b.cycles, 0u);
+  EXPECT_EQ(b.full + b.storing + b.no_request, b.cycles);
+  // Saturating traffic against a DDR-latency controller: the FIFO must be
+  // full a significant share of the time.
+  EXPECT_GT(b.fracFull(), 0.05);
+}
+
+TEST(LmiController, WritesAndPostedWritesComplete) {
+  mem::LmiConfig cfg;
+  sim::Simulator sim;
+  auto& clk = sim.addClockDomain("bus", 250.0);
+  stbus::StbusNode node(clk, "n", stbus::StbusNodeConfig{});
+  txn::TargetPort mp(clk, "lmi", 8, 16);
+  node.addTarget(mp, 0x0, 1ull << 31);
+  mem::LmiController lmi(clk, "lmi", mp, cfg);
+
+  txn::InitiatorPort ip(clk, "m0", 2, 8);
+  node.addInitiator(ip);
+  iptg::IptgConfig icfg;
+  icfg.bytes_per_beat = 8;
+  iptg::AgentProfile w;
+  w.name = "posted";
+  w.read_fraction = 0.0;
+  w.posted_writes = true;
+  w.total_transactions = 30;
+  iptg::AgentProfile nw = w;
+  nw.name = "nonposted";
+  nw.posted_writes = false;
+  nw.outstanding = 2;
+  icfg.agents = {w, nw};
+  iptg::Iptg gen(clk, "g", ip, icfg);
+
+  sim.runUntilIdle(1'000'000'000'000ull);
+  EXPECT_TRUE(gen.done());
+  EXPECT_EQ(lmi.requestsServed(), 60u);
+}
+
+}  // namespace

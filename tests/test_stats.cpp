@@ -1,0 +1,107 @@
+// Unit tests for the statistics primitives, probes and report rendering.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/probes.hpp"
+#include "stats/report.hpp"
+#include "stats/stats.hpp"
+
+namespace {
+
+using namespace mpsoc;
+
+TEST(Sampler, WelfordMoments) {
+  stats::Sampler s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Sampler, EmptyIsSafe) {
+  stats::Sampler s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Histogram, BinningAndOverflow) {
+  stats::Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  h.add(-1.0);
+  h.add(42.0);
+  EXPECT_EQ(h.total(), 12u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  for (auto c : h.bins()) EXPECT_EQ(c, 1u);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.01);
+}
+
+TEST(Counter, IncAndReset) {
+  stats::Counter c;
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ChannelUtilization, EfficiencyAndUtilization) {
+  stats::ChannelUtilization ch("rsp");
+  for (int i = 0; i < 50; ++i) ch.markTransfer();
+  for (int i = 0; i < 30; ++i) ch.markHeld();
+  EXPECT_DOUBLE_EQ(ch.efficiency(100), 0.5);
+  EXPECT_DOUBLE_EQ(ch.utilization(100), 0.8);
+  EXPECT_DOUBLE_EQ(ch.efficiency(0), 0.0);
+}
+
+TEST(PhaseSchedule, LookupAndBounds) {
+  stats::PhaseSchedule ps;
+  ps.addPhase("a", 100, 200);
+  ps.addPhase("b", 200, 400);
+  EXPECT_EQ(ps.phaseAt(50), -1);
+  EXPECT_EQ(ps.phaseAt(100), 0);
+  EXPECT_EQ(ps.phaseAt(199), 0);
+  EXPECT_EQ(ps.phaseAt(200), 1);
+  EXPECT_EQ(ps.phaseAt(400), -1);
+  EXPECT_EQ(ps.count(), 2u);
+  EXPECT_EQ(ps.phase(1).name, "b");
+}
+
+TEST(LatencyProbe, RecordsNanoseconds) {
+  stats::LatencyProbe p;
+  p.record(1'000, 3'000);   // 2 ns
+  p.record(2'000, 8'000);   // 6 ns
+  p.record(9'000, 1'000);   // negative: ignored
+  EXPECT_EQ(p.latencyNs().count(), 2u);
+  EXPECT_DOUBLE_EQ(p.latencyNs().mean(), 4.0);
+}
+
+TEST(TextTable, AlignedPrintAndCsv) {
+  stats::TextTable t("demo");
+  t.setHeader({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRow({"b", "23456"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+
+  std::ostringstream csv;
+  t.printCsv(csv);
+  EXPECT_EQ(csv.str(), "name,value\nalpha,1\nb,23456\n");
+}
+
+TEST(Format, FixedAndPercent) {
+  EXPECT_EQ(stats::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(stats::fmt(2.0, 0), "2");
+  EXPECT_EQ(stats::fmtPct(0.4712), "47.1%");
+}
+
+}  // namespace

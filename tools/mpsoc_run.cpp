@@ -1,0 +1,94 @@
+// mpsoc_run — command-line scenario runner.
+//
+//   mpsoc_run [options] scenario1.scn [scenario2.scn ...]
+//
+//   --csv          print a machine-readable CSV block after the table
+//   --json         print the results as JSON
+//   --normalize N  normalise execution times to scenario index N (default 0)
+//
+// Each scenario file describes one platform instance (see
+// platform/scenario_parser.hpp for the format; tools/scenarios/ ships the
+// paper's Fig. 3 instances).  All scenarios share the reference workload, so
+// their execution times are directly comparable.
+
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/export.hpp"
+#include "platform/scenario_parser.hpp"
+#include "stats/report.hpp"
+
+using namespace mpsoc;
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: mpsoc_run [--csv] [--json] [--normalize N] "
+               "scenario.scn [...]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool want_csv = false;
+  bool want_json = false;
+  std::size_t normalize_to = 0;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      want_csv = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      want_json = true;
+    } else if (std::strcmp(argv[i], "--normalize") == 0 && i + 1 < argc) {
+      normalize_to = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (argv[i][0] == '-') {
+      usage();
+      return 2;
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::vector<core::ScenarioResult> results;
+  for (const auto& path : files) {
+    platform::NamedScenario sc;
+    try {
+      sc = platform::loadScenario(path);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+    std::cerr << "running " << sc.name << " (" << path << ")...\n";
+    results.push_back(core::runScenario(sc.config, sc.name));
+  }
+
+  if (normalize_to >= results.size()) normalize_to = 0;
+  stats::TextTable t("mpsoc_run results");
+  t.setHeader({"scenario", "exec (us)", "normalized", "BW (MB/s)",
+               "read lat mean/p95 (ns)", "done"});
+  const double ref = static_cast<double>(results[normalize_to].exec_ps);
+  for (const auto& r : results) {
+    t.addRow({r.label, stats::fmt(static_cast<double>(r.exec_ps) / 1e6, 2),
+              stats::fmt(static_cast<double>(r.exec_ps) / ref, 3),
+              stats::fmt(r.bandwidth_mb_s, 1),
+              stats::fmt(r.mean_read_latency_ns, 0) + "/" +
+                  stats::fmt(r.p95_read_latency_ns, 0),
+              r.completed ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+
+  if (want_csv) {
+    std::cout << "\n" << core::toCsv(results);
+  }
+  if (want_json) {
+    std::cout << "\n" << core::toJson(results);
+  }
+  return 0;
+}
