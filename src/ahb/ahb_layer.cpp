@@ -1,6 +1,6 @@
 #include "ahb/ahb_layer.hpp"
 
-#include <cassert>
+#include "sim/check.hpp"
 
 namespace mpsoc::ahb {
 

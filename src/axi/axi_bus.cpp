@@ -1,7 +1,7 @@
 #include "axi/axi_bus.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include "sim/check.hpp"
 
 namespace mpsoc::axi {
 
@@ -90,7 +90,9 @@ void AxiBus::writeRequestPath() {
         eng.streaming->accepted_ps = clk_.simulator().now();
         targets_[t]->req.push(eng.streaming);
         eng.streaming.reset();
-        assert(reserved_[t] > 0);
+        SIM_CHECK_CTX(reserved_[t] > 0, name_, &clk_,
+                      "write-stream completion on target " << t
+                          << " with no reserved slot");
         --reserved_[t];
       }
       continue;

@@ -1,6 +1,6 @@
 #include "bridge/bridge.hpp"
 
-#include <cassert>
+#include "sim/check.hpp"
 #include <memory>
 
 namespace mpsoc::bridge {
@@ -112,7 +112,8 @@ class Bridge::MasterSide final : public txn::MasterBase {
  protected:
   void onResponse(const ResponsePtr& rsp) override {
     auto it = origin_.find(rsp->req->id);
-    assert(it != origin_.end());
+    SIM_CHECK_CTX(it != origin_.end(), name_, &clk_,
+                  "side-B response for unknown clone id " << rsp->req->id);
     RequestPtr orig = it->second;
     origin_.erase(it);
     if (orig->op == Opcode::Read || !b_.cfg_.early_write_ack) {
@@ -159,8 +160,9 @@ void Bridge::slaveEvaluate() {
           break;
         }
       }
-      assert(matched && "read completion without a pending entry");
-      (void)matched;
+      SIM_CHECK_CTX(matched, name_ + ".A", &clk_a_,
+                    "read completion without a pending entry (id "
+                        << orig->id << ")");
     } else {
       acks_.push_back(orig);  // late write ack path
     }
@@ -180,7 +182,8 @@ void Bridge::slaveEvaluate() {
       rsp->sched.first_beat = now + lat;
       rsp->sched.beat_period = pa;  // buffered data streams at full rate
       a_port_.rsp.push(rsp);
-      assert(reads_in_flight_ > 0);
+      SIM_CHECK_CTX(reads_in_flight_ > 0, name_ + ".A", &clk_a_,
+                    "read response delivered with no read in flight");
       --reads_in_flight_;
       // The blocking transaction completes when its last beat streams on A.
       busy_ = false;

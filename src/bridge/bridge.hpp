@@ -86,7 +86,7 @@ class Bridge {
   std::uint64_t readsForwarded() const { return reads_fwd_; }
   std::uint64_t writesForwarded() const { return writes_fwd_; }
 
-  bool idle() const;
+  bool idle() const;  // plain method; Bridge is not a Component  // mpsoc-lint: allow(missing-override)
 
  private:
   /// A read accepted on side A, awaiting its side-B data.

@@ -1,11 +1,13 @@
 #include "cpu/cache.hpp"
 
-#include <cassert>
+#include "sim/check.hpp"
 
 namespace mpsoc::cpu {
 
 Cache::Cache(CacheConfig cfg) : cfg_(cfg) {
-  assert(cfg_.line_bytes > 0 && cfg_.ways > 0);
+  SIM_CHECK(cfg_.line_bytes > 0 && cfg_.ways > 0,
+            "cache requires line_bytes > 0 and ways > 0 (got line_bytes="
+                << cfg_.line_bytes << ", ways=" << cfg_.ways << ")");
   sets_ = cfg_.size_bytes / cfg_.line_bytes / cfg_.ways;
   if (sets_ == 0) sets_ = 1;
   lines_.assign(sets_ * cfg_.ways, Line{});

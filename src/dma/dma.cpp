@@ -1,6 +1,6 @@
 #include "dma/dma.hpp"
 
-#include <cassert>
+#include "sim/check.hpp"
 #include <memory>
 #include <unordered_map>
 
@@ -20,7 +20,8 @@ DmaEngine::DmaEngine(sim::ClockDomain& clk, std::string name,
       cfg_(cfg) {}
 
 void DmaEngine::program(const DmaDescriptor& d) {
-  assert(d.bytes > 0);
+  SIM_CHECK_CTX(d.bytes > 0, name_, &clk_,
+                "DMA descriptor programmed with zero length");
   chain_.push_back(d);
   const std::uint64_t granule =
       static_cast<std::uint64_t>(cfg_.burst_beats) * cfg_.bytes_per_beat;
@@ -117,10 +118,12 @@ void DmaEngine::issueNextWrite() {
 
 void DmaEngine::completeWriteFor(std::uint64_t req_id) {
   auto it = write_descs_.find(req_id);
-  assert(it != write_descs_.end());
+  SIM_CHECK_CTX(it != write_descs_.end(), name_, &clk_,
+                "write completion for untracked request id " << req_id);
   const std::uint64_t desc = it->second;
   write_descs_.erase(it);
-  assert(desc_slices_left_[desc] > 0);
+  SIM_CHECK_CTX(desc_slices_left_[desc] > 0, name_, &clk_,
+                "write completion for finished descriptor " << desc);
   if (--desc_slices_left_[desc] == 0) {
     ++descs_done_;
     if (on_complete_) on_complete_(chain_[desc]);
@@ -130,12 +133,15 @@ void DmaEngine::completeWriteFor(std::uint64_t req_id) {
 void DmaEngine::onResponse(const txn::ResponsePtr& rsp) {
   if (rsp->req->tag == kTagRead) {
     auto it = pending_reads_.find(rsp->req->id);
-    assert(it != pending_reads_.end());
+    SIM_CHECK_CTX(it != pending_reads_.end(), name_, &clk_,
+                  "read response for untracked request id "
+                      << rsp->req->id);
     write_queue_.push_back(it->second);
     bytes_copied_ += static_cast<std::uint64_t>(it->second.beats) *
                      cfg_.bytes_per_beat;
     pending_reads_.erase(it);
-    assert(reads_inflight_ > 0);
+    SIM_CHECK_CTX(reads_inflight_ > 0, name_, &clk_,
+                  "read response with no read in flight");
     --reads_inflight_;
   } else if (rsp->req->tag == kTagWrite) {
     completeWriteFor(rsp->req->id);

@@ -1,7 +1,7 @@
 #include "iptg/iptg.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include "sim/check.hpp"
 #include <memory>
 
 namespace mpsoc::iptg {
@@ -162,7 +162,9 @@ txn::RequestPtr Iptg::makeRequest(AgentState& a, std::size_t agent_idx) {
 
 void Iptg::onResponse(const txn::ResponsePtr& rsp) {
   AgentState& a = agents_[rsp->req->tag];
-  assert(a.outstanding > 0);
+  SIM_CHECK_CTX(a.outstanding > 0, name_, &clk_,
+                "agent " << rsp->req->tag
+                         << " response with no outstanding transaction");
   --a.outstanding;
   ++a.retired;
 }

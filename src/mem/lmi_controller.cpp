@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "sim/check.hpp"
+
 namespace mpsoc::mem {
 
 using txn::Opcode;
@@ -64,6 +66,9 @@ void LmiController::evaluate() {
   }
 
   std::size_t pick = selectRequest();
+  SIM_CHECK_CTX(pick < port_.req.size(), name_, &clk_,
+                "lookahead picked slot " << pick << " beyond queue depth "
+                                         << port_.req.size());
   std::size_t run =
       cfg_.opcode_merging ? mergeRun(pick) : static_cast<std::size_t>(1);
 
@@ -85,7 +90,12 @@ void LmiController::evaluate() {
   batch.reserve(run);
   std::uint32_t total_beats = 0;
   for (std::size_t k = 0; k < run; ++k) {
+    // popAt(pick) shifts the next merged neighbour into slot `pick`, so the
+    // whole adjacent run is collected from the same index.
     batch.push_back(port_.req.popAt(pick));
+    SIM_CHECK_CTX(batch.back()->op == batch.front()->op, name_, &clk_,
+                  "merge run mixed opcodes at slice " << k
+                      << " (lookahead/merge window bug)");
     total_beats += batch.back()->beats;
   }
 

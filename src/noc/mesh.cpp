@@ -1,6 +1,6 @@
 #include "noc/mesh.hpp"
 
-#include <cassert>
+#include "sim/check.hpp"
 #include <cmath>
 
 namespace mpsoc::noc {
@@ -89,7 +89,9 @@ class NocMesh::SlaveAdapter final : public sim::Component {
       if (rsp->sched.lastBeat(rsp->beats) <= now) {
         ResponsePtr done = port_.rsp.pop();
         auto it = origin_.find(done->req->id);
-        assert(it != origin_.end());
+        SIM_CHECK_CTX(it != origin_.end(), name_, &clk_,
+                      "response for request id " << done->req->id
+                          << " with no recorded origin node");
         auto pkt = std::make_shared<NocPacket>();
         pkt->kind = NocPacket::Kind::Response;
         pkt->req = done->req;
@@ -148,12 +150,15 @@ NocMesh::~NocMesh() = default;
 
 NodeId NocMesh::routeAddr(std::uint64_t addr) const {
   auto t = amap_.lookup(addr);
-  assert(t && "address does not map to any NoC node");
+  SIM_CHECK(t.has_value(), "address 0x" << std::hex << addr << std::dec
+                                        << " does not map to any NoC node");
   return static_cast<NodeId>(*t);
 }
 
 void NocMesh::attachMaster(txn::InitiatorPort& port, NodeId at) {
-  assert(at < routers_.size());
+  SIM_CHECK(at < routers_.size(),
+            "attachMaster at node " << at << " outside mesh of "
+                                    << routers_.size() << " routers");
   if (!egress_[at]) {
     egress_[at] = std::make_unique<Router::PacketFifo>(
         clk_, name_ + ".eg" + std::to_string(at), cfg_.adapter_fifo_depth);
@@ -166,7 +171,9 @@ void NocMesh::attachMaster(txn::InitiatorPort& port, NodeId at) {
 
 void NocMesh::attachSlave(txn::TargetPort& port, NodeId at, std::uint64_t base,
                           std::uint64_t size) {
-  assert(at < routers_.size());
+  SIM_CHECK(at < routers_.size(),
+            "attachSlave at node " << at << " outside mesh of "
+                                   << routers_.size() << " routers");
   if (!egress_[at]) {
     egress_[at] = std::make_unique<Router::PacketFifo>(
         clk_, name_ + ".eg" + std::to_string(at), cfg_.adapter_fifo_depth);

@@ -1,6 +1,6 @@
 #include "noc/router.hpp"
 
-#include <cassert>
+#include "sim/check.hpp"
 
 namespace mpsoc::noc {
 
@@ -18,7 +18,9 @@ Router::Router(sim::ClockDomain& clk, std::string name, unsigned x, unsigned y,
 Dir Router::routeTo(NodeId dst) const {
   const unsigned dx = dst % mesh_w_;
   const unsigned dy = static_cast<unsigned>(dst) / mesh_w_;
-  assert(dy < mesh_h_ && "destination outside the mesh");
+  SIM_CHECK_CTX(dy < mesh_h_, name_, &clk_,
+                "destination node " << dst << " outside the "
+                    << mesh_w_ << "x" << mesh_h_ << " mesh");
   if (dx > x_) return Dir::East;
   if (dx < x_) return Dir::West;
   if (dy > y_) return Dir::South;

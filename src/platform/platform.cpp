@@ -1,7 +1,7 @@
 #include "platform/platform.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include "sim/check.hpp"
 #include <cmath>
 
 namespace mpsoc::platform {

@@ -1,0 +1,56 @@
+#include "sim/check.hpp"
+
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "sim/clock.hpp"
+#include "sim/simulator.hpp"
+
+namespace mpsoc::sim {
+
+namespace {
+
+std::string formatReport(const CheckContext& ctx, const std::string& detail) {
+  std::ostringstream oss;
+  oss << "InvariantViolation: ";
+  oss << (ctx.who.empty() ? "<unnamed>" : ctx.who);
+  if (!ctx.domain.empty()) {
+    oss << " [clk=" << ctx.domain << " @ cycle " << ctx.cycle
+        << ", t=" << ctx.time_ps << " ps]";
+  }
+  oss << ": " << detail;
+  if (ctx.file && *ctx.file) oss << "  (" << ctx.file << ":" << ctx.line << ")";
+  return oss.str();
+}
+
+}  // namespace
+
+InvariantViolation::InvariantViolation(CheckContext ctx, std::string detail)
+    : std::runtime_error(formatReport(ctx, detail)),
+      ctx_(std::move(ctx)), detail_(std::move(detail)) {}
+
+CheckContext checkContext(const char* file, int line, std::string who,
+                          const ClockDomain* clk) {
+  CheckContext ctx;
+  ctx.file = file;
+  ctx.line = line;
+  ctx.who = std::move(who);
+  if (clk) {
+    ctx.domain = clk->name();
+    ctx.cycle = clk->now();
+    ctx.time_ps = clk->simulator().now();
+  }
+  return ctx;
+}
+
+void raiseInvariant(CheckContext ctx, std::string detail) {
+#ifndef NDEBUG
+  // Debug builds: leave a trace even if the exception dies in a noexcept
+  // context or a destructor before anyone can print what().
+  std::cerr << formatReport(ctx, detail) << std::endl;
+#endif
+  throw InvariantViolation(std::move(ctx), std::move(detail));
+}
+
+}  // namespace mpsoc::sim

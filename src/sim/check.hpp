@@ -1,0 +1,80 @@
+#pragma once
+// SIM_CHECK — structured invariant checking for the simulation kernel and
+// every subsystem built on it.
+//
+// Unlike bare assert(), which compiles out in the default RelWithDebInfo
+// build, SIM_CHECK is always on: the condition is evaluated in every build
+// type (the message is only formatted on failure, so the hot-path cost is one
+// predictable branch).  A failed check throws InvariantViolation carrying the
+// offending component/FIFO name, its clock domain, the domain-local cycle and
+// the global picosecond timestamp, so a corrupted timeline is reported as
+//
+//   InvariantViolation: lmi.req [clk=lmi @ cycle 1042, t=2605000 ps]
+//       push() on full FIFO (capacity 4)  (src/sim/fifo.hpp:87)
+//
+// instead of silently mis-simulating.  In debug builds (NDEBUG undefined) the
+// report is additionally printed to stderr before the throw, so a check that
+// fires inside a destructor or a noexcept context still leaves a trace.
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace mpsoc::sim {
+
+class ClockDomain;
+
+/// Where and when an invariant failed.
+struct CheckContext {
+  std::string who;     ///< component / FIFO instance name ("" when unknown)
+  std::string domain;  ///< clock-domain name ("" when domain-less)
+  Cycle cycle = 0;     ///< domain-local cycle at failure
+  Picos time_ps = 0;   ///< global simulation time at failure
+  const char* file = "";
+  int line = 0;
+};
+
+/// Thrown by SIM_CHECK on failure.  what() contains the fully formatted
+/// report; the structured fields stay available for tests and tooling.
+class InvariantViolation : public std::runtime_error {
+ public:
+  InvariantViolation(CheckContext ctx, std::string detail);
+
+  const CheckContext& context() const { return ctx_; }
+  const std::string& detail() const { return detail_; }
+
+ private:
+  CheckContext ctx_;
+  std::string detail_;
+};
+
+/// Build a CheckContext, pulling domain name / cycle / global time from `clk`
+/// (which may be null for domain-less call sites).
+CheckContext checkContext(const char* file, int line, std::string who,
+                          const ClockDomain* clk);
+
+/// Format, report (stderr in debug builds) and throw.
+[[noreturn]] void raiseInvariant(CheckContext ctx, std::string detail);
+
+// Full-context form: `who` is a name (string), `clk` a ClockDomain* (may be
+// null).  `expr` is an ostream chain, evaluated only on failure.
+#define SIM_CHECK_CTX(cond, who, clk, expr)                                  \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      std::ostringstream sim_check_oss__;                                    \
+      sim_check_oss__ << expr;                                               \
+      ::mpsoc::sim::raiseInvariant(                                          \
+          ::mpsoc::sim::checkContext(__FILE__, __LINE__, (who), (clk)),      \
+          sim_check_oss__.str());                                            \
+    }                                                                        \
+  } while (0)
+
+// Context-free form for call sites with no component identity (parsers,
+// writers, configuration validation).
+#define SIM_CHECK(cond, expr) SIM_CHECK_CTX(cond, std::string(), nullptr, expr)
+
+}  // namespace mpsoc::sim
+
+// SIM_CHECK call sites stream their message; pull in <sstream> for them.
+#include <sstream>

@@ -23,8 +23,18 @@ void ClockDomain::removeUpdatable(Updatable* u) {
 
 void ClockDomain::evaluateEdge() {
   ++cycle_;
-  for (Component* c : components_) {
-    c->evaluate();
+  evaluateComponents(false);
+}
+
+void ClockDomain::evaluateComponents(bool reverse) {
+  if (reverse) {
+    for (auto it = components_.rbegin(); it != components_.rend(); ++it) {
+      (*it)->evaluate();
+    }
+  } else {
+    for (Component* c : components_) {
+      c->evaluate();
+    }
   }
 }
 

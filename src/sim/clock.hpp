@@ -3,6 +3,7 @@
 // commits the staged state (FIFOs, registers) bound to it.
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,21 @@ class Updatable {
   /// Commit staged state.  Called once per edge, after every component in the
   /// edge's domains has run evaluate().
   virtual void commit() = 0;
+
+  // --- deep-check hooks (see Simulator::setDeepCheck) -----------------------
+
+  /// Structural digest of the state staged this edge (push/pop counts,
+  /// out-of-order removal positions).  Two evaluate passes that stage
+  /// different amounts or shapes of work produce different digests.
+  virtual std::uint64_t stagedDigest() const { return 0; }
+  /// True when staged state can be discarded and the edge re-evaluated
+  /// (requires value-preserving pops; see SyncFifo).
+  virtual bool replaySupported() const { return false; }
+  /// Discard everything staged this edge, restoring the pre-evaluate view.
+  virtual void rollbackStaged() {}
+  /// Validate internal structural invariants; raise InvariantViolation on
+  /// corruption.  Called per edge in deep-check mode.
+  virtual void checkInvariants() const {}
 };
 
 /// A named clock domain with a fixed period.  Components register themselves
@@ -45,6 +61,7 @@ class ClockDomain {
   Cycle now() const { return cycle_; }
 
   Simulator& simulator() { return sim_; }
+  const Simulator& simulator() const { return sim_; }
 
   const std::vector<Component*>& components() const { return components_; }
 
@@ -58,8 +75,14 @@ class ClockDomain {
 
   /// Phase 1 of an edge: bump the cycle counter and run every component.
   void evaluateEdge();
+  /// Re-run the components of the current edge without bumping the cycle
+  /// counter (deep-check replay).  `reverse` flips the registration order to
+  /// expose order-dependent evaluate logic.
+  void evaluateComponents(bool reverse);
   /// Phase 2 of an edge: commit all staged state and schedule the next edge.
   void commitEdge();
+
+  const std::vector<Updatable*>& updatables() const { return updatables_; }
 
  private:
   Simulator& sim_;

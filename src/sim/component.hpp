@@ -29,6 +29,14 @@ class Component {
   /// Hook invoked once when the simulation stops (for stats finalisation).
   virtual void endOfSimulation() {}
 
+  /// Deep-check replay hooks (see Simulator::setDeepCheck): snapshot /
+  /// restore all internal state mutated by evaluate(), so the kernel can run
+  /// an edge's evaluate twice.  Return false (the default) to opt out —
+  /// deep-check then skips the replay pass on edges containing this
+  /// component and only runs structural invariant checks.
+  virtual bool saveState() { return false; }
+  virtual void restoreState() {}
+
   ClockDomain& clk() { return clk_; }
   const ClockDomain& clk() const { return clk_; }
   Cycle now() const { return clk_.now(); }

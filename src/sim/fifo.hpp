@@ -13,20 +13,38 @@
 // domain becomes visible to the consumer only after `sync_stages` consumer
 // clock periods (a brute-force two-flop synchroniser), as in the paper's
 // hybrid bridges (Fig. 2).
+//
+// Phase discipline (enforced via SIM_CHECK, in every build type):
+//   * push/pop/popAt are legal only during the kernel's Evaluate phase —
+//     mutating a FIFO from commit() or from outside the simulation loop
+//     corrupts the registered-occupancy timeline;
+//   * commit() is legal only during the Commit phase, i.e. only when invoked
+//     by the kernel.  User code must never call it.
+// Read-only accessors (size, front, at, registeredSize) stay unrestricted so
+// probes and tests can inspect state at any time.
 
-#include <cassert>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "sim/check.hpp"
 #include "sim/clock.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
 namespace mpsoc::sim {
+
+namespace detail {
+/// FNV-1a combine for the structural staged-state digests of deep-check mode.
+inline std::uint64_t fnvCombine(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * 1099511628211ULL;
+}
+constexpr std::uint64_t kFnvBasis = 14695981039346656037ULL;
+}  // namespace detail
 
 /// End-of-edge snapshot handed to FIFO observers (used by stats probes to
 /// classify every cycle as full / storing / no-request, per Fig. 6).
@@ -45,7 +63,7 @@ class SyncFifo final : public Updatable {
 
   SyncFifo(ClockDomain& clk, std::string name, std::size_t capacity)
       : clk_(clk), name_(std::move(name)), capacity_(capacity) {
-    assert(capacity_ > 0);
+    SIM_CHECK_CTX(capacity_ > 0, name_, &clk_, "FIFO capacity must be > 0");
     clk_.addUpdatable(this);
   }
   ~SyncFifo() override { clk_.removeUpdatable(this); }
@@ -64,7 +82,9 @@ class SyncFifo final : public Updatable {
   }
 
   void push(T v) {
-    assert(canPush());
+    checkPhase("push");
+    SIM_CHECK_CTX(canPush(), name_, &clk_,
+                  "push() on full FIFO (capacity " << capacity_ << ")");
     staged_.push_back(std::move(v));
   }
 
@@ -76,20 +96,22 @@ class SyncFifo final : public Updatable {
   std::size_t registeredSize() const { return committed_.size(); }
 
   const T& front() const {
-    assert(!empty());
+    SIM_CHECK_CTX(!empty(), name_, &clk_, "front() on empty FIFO");
     return committed_[pop_count_];
   }
 
   /// Random access beyond the front — used by the LMI lookahead engine to
   /// inspect (without consuming) the first `size()` queued requests.
   const T& at(std::size_t i) const {
-    assert(i < size());
+    SIM_CHECK_CTX(i < size(), name_, &clk_,
+                  "at(" << i << ") beyond visible occupancy " << size());
     return committed_[pop_count_ + i];
   }
 
   T pop() {
-    assert(!empty());
-    T v = std::move(committed_[pop_count_]);
+    checkPhase("pop");
+    SIM_CHECK_CTX(!empty(), name_, &clk_, "pop() on empty FIFO");
+    T v = takeAt(pop_count_);
     ++pop_count_;
     return v;
   }
@@ -98,11 +120,18 @@ class SyncFifo final : public Updatable {
   /// controllers that service queued requests out of order (LMI lookahead).
   /// Only elements not yet popped this edge may be removed.
   T popAt(std::size_t i) {
-    assert(i < size());
+    checkPhase("popAt");
+    SIM_CHECK_CTX(i < size(), name_, &clk_,
+                  "popAt(" << i << ") beyond visible occupancy " << size());
     if (i == 0) return pop();
-    T v = std::move(committed_[pop_count_ + i]);
-    committed_.erase(committed_.begin() +
-                     static_cast<std::ptrdiff_t>(pop_count_ + i));
+    const std::size_t idx = pop_count_ + i;
+    T v = takeAt(idx);
+    if constexpr (std::is_copy_constructible_v<T>) {
+      if (clk_.simulator().deepCheck()) {
+        ooo_journal_.push_back({idx, committed_[idx]});
+      }
+    }
+    committed_.erase(committed_.begin() + static_cast<std::ptrdiff_t>(idx));
     ++ooo_pops_;
     return v;
   }
@@ -110,6 +139,9 @@ class SyncFifo final : public Updatable {
   void setObserver(Observer obs) { observer_ = std::move(obs); }
 
   void commit() override {
+    SIM_CHECK_CTX(clk_.simulator().phase() == Phase::Commit, name_, &clk_,
+                  "commit() called outside the kernel's commit phase "
+                  "(user code must never commit FIFOs directly)");
     FifoEdgeInfo info;
     info.occupancy_before = committed_.size() + ooo_pops_;
     info.pushed = staged_.size();
@@ -122,12 +154,80 @@ class SyncFifo final : public Updatable {
     staged_.clear();
     pop_count_ = 0;
     ooo_pops_ = 0;
+    ooo_journal_.clear();
 
     info.occupancy_after = committed_.size();
+    SIM_CHECK_CTX(
+        info.occupancy_after ==
+            info.occupancy_before + info.pushed - info.popped,
+        name_, &clk_,
+        "commit() accounting mismatch: before=" << info.occupancy_before
+            << " +pushed=" << info.pushed << " -popped=" << info.popped
+            << " != after=" << info.occupancy_after);
     if (observer_) observer_(info);
   }
 
+  // --- deep-check hooks -----------------------------------------------------
+
+  bool replaySupported() const override {
+    return std::is_copy_constructible_v<T>;
+  }
+
+  std::uint64_t stagedDigest() const override {
+    std::uint64_t h = detail::kFnvBasis;
+    h = detail::fnvCombine(h, staged_.size());
+    h = detail::fnvCombine(h, pop_count_);
+    h = detail::fnvCombine(h, ooo_pops_);
+    for (const auto& e : ooo_journal_) h = detail::fnvCombine(h, e.index);
+    return h;
+  }
+
+  void rollbackStaged() override {
+    staged_.clear();
+    pop_count_ = 0;
+    if constexpr (std::is_copy_constructible_v<T>) {
+      // Undo out-of-order erasures back-to-front to restore exact positions.
+      for (auto it = ooo_journal_.rbegin(); it != ooo_journal_.rend(); ++it) {
+        committed_.insert(
+            committed_.begin() + static_cast<std::ptrdiff_t>(it->index),
+            it->value);
+      }
+    }
+    ooo_journal_.clear();
+    ooo_pops_ = 0;
+  }
+
+  void checkInvariants() const override {
+    SIM_CHECK_CTX(pop_count_ <= committed_.size(), name_, &clk_,
+                  "pop count " << pop_count_ << " exceeds committed occupancy "
+                               << committed_.size());
+    SIM_CHECK_CTX(committed_.size() + staged_.size() <= capacity_,
+                  name_, &clk_,
+                  "occupancy " << committed_.size() + staged_.size()
+                               << " exceeds capacity " << capacity_);
+  }
+
  private:
+  void checkPhase(const char* op) const {
+    SIM_CHECK_CTX(clk_.simulator().phase() == Phase::Evaluate, name_, &clk_,
+                  op << "() outside the evaluate phase: FIFOs may only be "
+                        "mutated from Component::evaluate()");
+  }
+
+  /// Take the value at absolute index `idx`: copied when deep-check replay
+  /// may need to re-run the edge, moved on the fast path.
+  T takeAt(std::size_t idx) {
+    if constexpr (std::is_copy_constructible_v<T>) {
+      if (clk_.simulator().deepCheck()) return committed_[idx];
+    }
+    return std::move(committed_[idx]);
+  }
+
+  struct OooEntry {
+    std::size_t index;  ///< position in committed_ at erase time
+    T value;
+  };
+
   ClockDomain& clk_;
   std::string name_;
   std::size_t capacity_;
@@ -135,6 +235,7 @@ class SyncFifo final : public Updatable {
   std::vector<T> staged_;
   std::size_t pop_count_ = 0;  ///< in-order pops staged this edge
   std::size_t ooo_pops_ = 0;   ///< out-of-order removals staged this edge
+  std::vector<OooEntry> ooo_journal_;  ///< deep-check undo log for popAt
   Observer observer_;
 };
 
@@ -151,7 +252,13 @@ class AsyncFifo final : public Updatable {
             std::size_t capacity, unsigned sync_stages = 2)
       : prod_(producer), cons_(consumer), name_(std::move(name)),
         capacity_(capacity), sync_stages_(sync_stages) {
-    assert(capacity_ > 0);
+    SIM_CHECK_CTX(capacity_ > 0, name_, &prod_, "FIFO capacity must be > 0");
+    // readable() computes "now" from the producer domain's simulator; a
+    // crossing spanning two Simulator instances has no coherent timeline.
+    SIM_CHECK_CTX(&prod_.simulator() == &cons_.simulator(), name_, &prod_,
+                  "producer domain '" << prod_.name() << "' and consumer "
+                  "domain '" << cons_.name()
+                  << "' belong to different simulators");
     prod_.addUpdatable(this);
   }
   ~AsyncFifo() override { prod_.removeUpdatable(this); }
@@ -167,7 +274,9 @@ class AsyncFifo final : public Updatable {
   }
 
   void push(T v) {
-    assert(canPush());
+    checkPhase("push");
+    SIM_CHECK_CTX(canPush(), name_, &prod_,
+                  "push() on full FIFO (capacity " << capacity_ << ")");
     staged_.push_back(std::move(v));
   }
 
@@ -185,13 +294,14 @@ class AsyncFifo final : public Updatable {
   bool canPop() const { return readable() > 0; }
 
   const T& front() const {
-    assert(canPop());
+    SIM_CHECK_CTX(canPop(), name_, &cons_, "front() with no readable item");
     return committed_[pop_count_].value;
   }
 
   T pop() {
-    assert(canPop());
-    T v = std::move(committed_[pop_count_].value);
+    checkPhase("pop");
+    SIM_CHECK_CTX(canPop(), name_, &cons_, "pop() with no readable item");
+    T v = takeAt(pop_count_);
     ++pop_count_;
     return v;
   }
@@ -199,6 +309,9 @@ class AsyncFifo final : public Updatable {
   std::size_t sizeIgnoringSync() const { return committed_.size() - pop_count_; }
 
   void commit() override {
+    SIM_CHECK_CTX(prod_.simulator().phase() == Phase::Commit, name_, &prod_,
+                  "commit() called outside the kernel's commit phase "
+                  "(user code must never commit FIFOs directly)");
     committed_.erase(committed_.begin(),
                      committed_.begin() + static_cast<std::ptrdiff_t>(pop_count_));
     pop_count_ = 0;
@@ -210,7 +323,48 @@ class AsyncFifo final : public Updatable {
     staged_.clear();
   }
 
+  // --- deep-check hooks -----------------------------------------------------
+
+  bool replaySupported() const override {
+    return std::is_copy_constructible_v<T>;
+  }
+
+  std::uint64_t stagedDigest() const override {
+    std::uint64_t h = detail::kFnvBasis;
+    h = detail::fnvCombine(h, staged_.size());
+    h = detail::fnvCombine(h, pop_count_);
+    return h;
+  }
+
+  void rollbackStaged() override {
+    staged_.clear();
+    pop_count_ = 0;
+  }
+
+  void checkInvariants() const override {
+    SIM_CHECK_CTX(pop_count_ <= committed_.size(), name_, &prod_,
+                  "pop count " << pop_count_ << " exceeds committed occupancy "
+                               << committed_.size());
+    SIM_CHECK_CTX(committed_.size() + staged_.size() <= capacity_,
+                  name_, &prod_,
+                  "occupancy " << committed_.size() + staged_.size()
+                               << " exceeds capacity " << capacity_);
+  }
+
  private:
+  void checkPhase(const char* op) const {
+    SIM_CHECK_CTX(prod_.simulator().phase() == Phase::Evaluate, name_, &prod_,
+                  op << "() outside the evaluate phase: FIFOs may only be "
+                        "mutated from Component::evaluate()");
+  }
+
+  T takeAt(std::size_t idx) {
+    if constexpr (std::is_copy_constructible_v<T>) {
+      if (prod_.simulator().deepCheck()) return committed_[idx].value;
+    }
+    return std::move(committed_[idx].value);
+  }
+
   struct Entry {
     T value;
     Picos visible_at;

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "sim/check.hpp"
 #include "sim/component.hpp"
 
 namespace mpsoc::sim {
@@ -19,15 +20,69 @@ bool Simulator::step() {
   for (const auto& d : domains_) t = std::min(t, d->nextEdge());
   now_ps_ = t;
 
+  std::vector<ClockDomain*> edge_domains;
+  for (const auto& d : domains_) {
+    if (d->nextEdge() == t) edge_domains.push_back(d.get());
+  }
+
   // Phase 1: evaluate every domain whose edge coincides with t.
-  for (const auto& d : domains_) {
-    if (d->nextEdge() == t) d->evaluateEdge();
+  phase_ = Phase::Evaluate;
+  // Deep-check replay needs the pre-evaluate snapshot taken first.
+  bool replayable = false;
+  if (deep_check_) {
+    replayable = true;
+    for (ClockDomain* d : edge_domains) {
+      for (Updatable* u : d->updatables()) {
+        if (!u->replaySupported()) replayable = false;
+      }
+      for (Component* c : d->components()) {
+        if (!c->saveState()) replayable = false;
+      }
+    }
   }
+  for (ClockDomain* d : edge_domains) d->evaluateEdge();
+
+  if (deep_check_) deepCheckEdge(edge_domains, replayable);
+
   // Phase 2: commit their staged state.
-  for (const auto& d : domains_) {
-    if (d->nextEdge() == t) d->commitEdge();
-  }
+  phase_ = Phase::Commit;
+  for (ClockDomain* d : edge_domains) d->commitEdge();
+  phase_ = Phase::Outside;
   return true;
+}
+
+void Simulator::deepCheckEdge(const std::vector<ClockDomain*>& edge_domains,
+                              bool replayable) {
+  if (replayable) {
+    std::vector<std::uint64_t> digests;
+    for (ClockDomain* d : edge_domains) {
+      for (Updatable* u : d->updatables()) digests.push_back(u->stagedDigest());
+    }
+
+    for (ClockDomain* d : edge_domains) {
+      for (Updatable* u : d->updatables()) u->rollbackStaged();
+      for (Component* c : d->components()) c->restoreState();
+    }
+    // Second pass in reverse order: a well-behaved edge stages the same
+    // work regardless of component registration order.
+    for (auto it = edge_domains.rbegin(); it != edge_domains.rend(); ++it) {
+      (*it)->evaluateComponents(true);
+    }
+
+    std::size_t i = 0;
+    for (ClockDomain* d : edge_domains) {
+      for (Updatable* u : d->updatables()) {
+        SIM_CHECK_CTX(u->stagedDigest() == digests[i], "deep-check", d,
+                      "order-dependent evaluate: staged state diverged "
+                      "between forward and reverse evaluation passes");
+        ++i;
+      }
+    }
+  }
+
+  for (ClockDomain* d : edge_domains) {
+    for (Updatable* u : d->updatables()) u->checkInvariants();
+  }
 }
 
 Picos Simulator::run(Picos max_time_ps, const std::function<bool()>& stop) {

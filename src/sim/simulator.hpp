@@ -22,6 +22,11 @@
 
 namespace mpsoc::sim {
 
+/// Where the kernel is within the two-phase edge protocol.  FIFOs use this to
+/// reject mutations outside their legal window: push/pop only during
+/// Evaluate, commit() only during Commit (i.e. only kernel-invoked).
+enum class Phase { Outside, Evaluate, Commit };
+
 class Simulator {
  public:
   Simulator() = default;
@@ -34,6 +39,20 @@ class Simulator {
 
   /// Current global time.  During an edge this is the instant of that edge.
   Picos now() const { return now_ps_; }
+
+  /// Current position within the two-phase edge protocol.
+  Phase phase() const { return phase_; }
+
+  /// Deep-check mode: after the evaluate phase of every edge the kernel
+  /// digests all staged state, rolls it back, re-runs evaluate with component
+  /// order *reversed*, and raises InvariantViolation if the second pass stages
+  /// a structurally different result — catching order-dependent evaluate logic
+  /// that would break the determinism guarantee.  Replay engages only when
+  /// every component on the edge implements saveState()/restoreState() and
+  /// every Updatable supports rollback; otherwise the kernel still digests and
+  /// runs per-edge structural invariant checks.  Expensive; off by default.
+  void setDeepCheck(bool on) { deep_check_ = on; }
+  bool deepCheck() const { return deep_check_; }
 
   /// Advance one edge instant (possibly several coincident domain edges).
   /// Returns false when there are no domains.
@@ -60,8 +79,13 @@ class Simulator {
   std::vector<Component*> allComponents() const;
 
  private:
+  void deepCheckEdge(const std::vector<ClockDomain*>& edge_domains,
+                     bool replayable);
+
   std::vector<std::unique_ptr<ClockDomain>> domains_;
   Picos now_ps_ = 0;
+  Phase phase_ = Phase::Outside;
+  bool deep_check_ = false;
   bool finished_ = false;
 };
 

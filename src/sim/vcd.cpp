@@ -1,6 +1,6 @@
 #include "sim/vcd.hpp"
 
-#include <cassert>
+#include "sim/check.hpp"
 
 namespace mpsoc::sim {
 
@@ -17,7 +17,8 @@ std::string VcdWriter::makeId(std::size_t index) {
 
 VcdWriter::SignalId VcdWriter::addSignal(const std::string& name,
                                          unsigned width_bits) {
-  assert(!header_done_ && "register all signals before the first sample");
+  SIM_CHECK(!header_done_,
+            "VCD signal '" << name << "' registered after the first sample");
   Signal s;
   s.name = name;
   s.width = width_bits ? width_bits : 1;
@@ -62,7 +63,9 @@ void VcdWriter::emitValue(const Signal& s, std::uint64_t v) {
 
 void VcdWriter::sample(Picos time_ps, const std::vector<std::uint64_t>& values) {
   writeHeader();
-  assert(values.size() >= signals_.size());
+  SIM_CHECK(values.size() >= signals_.size(),
+            "sample carries " << values.size() << " values for "
+                                << signals_.size() << " signals");
   bool time_written = false;
   for (std::size_t i = 0; i < signals_.size(); ++i) {
     Signal& s = signals_[i];

@@ -1,6 +1,6 @@
 #include "stbus/node.hpp"
 
-#include <cassert>
+#include "sim/check.hpp"
 #include <limits>
 
 namespace mpsoc::stbus {
@@ -148,7 +148,8 @@ void StbusNode::startStream(ReqEngine& e, std::size_t initiator,
 }
 
 void StbusNode::finishStream(ReqEngine& e) {
-  assert(e.streaming);
+  SIM_CHECK_CTX(e.streaming != nullptr, name_, &clk_,
+                "finishStream() with no request streaming");
   e.streaming->accepted_ps = clk_.simulator().now();
   targets_[e.stream_target]->req.push(e.streaming);
   if (cfg_.type == StbusType::T1) e.locked = true;

@@ -4,13 +4,13 @@
 // transaction tracking, and the response-beat streaming helper that turns a
 // memory's BeatSchedule into cycle-by-cycle channel occupancy.
 
-#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "sim/check.hpp"
 #include "sim/component.hpp"
 #include "stats/probes.hpp"
 #include "txn/ports.hpp"
@@ -44,7 +44,9 @@ class InterconnectBase : public sim::Component {
   /// Decode; unmapped addresses are a configuration error.
   std::size_t route(std::uint64_t addr) const {
     auto t = amap_.lookup(addr);
-    assert(t && "address does not decode to any target");
+    SIM_CHECK_CTX(t.has_value(), name_, &clk_,
+                  "address 0x" << std::hex << addr << std::dec
+                               << " does not decode to any target");
     return *t;
   }
 
@@ -72,7 +74,8 @@ class InterconnectBase : public sim::Component {
   /// Initiator a response must return to.
   std::size_t initiatorOf(const ResponsePtr& rsp) const {
     auto it = inflight_initiator_.find(rsp->req->id);
-    assert(it != inflight_initiator_.end() && "response for unknown request");
+    SIM_CHECK_CTX(it != inflight_initiator_.end(), name_, &clk_,
+                  "response for unknown request id " << rsp->req->id);
     return it->second;
   }
 
@@ -94,7 +97,9 @@ class InterconnectBase : public sim::Component {
   /// Retire a delivered response from the tracking tables.
   void retire(const ResponsePtr& rsp) {
     auto it = inflight_initiator_.find(rsp->req->id);
-    assert(it != inflight_initiator_.end());
+    SIM_CHECK_CTX(it != inflight_initiator_.end(), name_, &clk_,
+                  "retiring response for untracked request id "
+                      << rsp->req->id);
     std::size_t ini = it->second;
     inflight_initiator_.erase(it);
     auto& dq = order_[ini];
@@ -159,7 +164,9 @@ class InterconnectBase : public sim::Component {
         return;
       }
     }
-    assert(false && "response vanished from target FIFO");
+    SIM_CHECK_CTX(false, name_, &clk_,
+                  "response for request id " << rsp->req->id
+                                             << " vanished from target FIFO");
   }
 
   std::vector<InitiatorPort*> initiators_;

@@ -1,6 +1,6 @@
 #include "txn/master.hpp"
 
-#include <cassert>
+#include "sim/check.hpp"
 
 namespace mpsoc::txn {
 
@@ -26,7 +26,8 @@ void MasterBase::issue(const RequestPtr& req) {
   }
   const bool fire_and_forget = req->posted && req->op == Opcode::Write;
   if (!fire_and_forget) {
-    assert(outstanding_ < max_outstanding_);
+    SIM_CHECK_CTX(outstanding_ < max_outstanding_, name_, &clk_,
+                  "issue() beyond max outstanding " << max_outstanding_);
     ++outstanding_;
   } else {
     ++retired_;  // posted writes retire at issue
@@ -37,7 +38,8 @@ void MasterBase::issue(const RequestPtr& req) {
 void MasterBase::collectResponses() {
   while (!port_.rsp.empty()) {
     ResponsePtr rsp = port_.rsp.pop();
-    assert(outstanding_ > 0);
+    SIM_CHECK_CTX(outstanding_ > 0, name_, &clk_,
+                  "response arrived with no outstanding transaction");
     --outstanding_;
     ++retired_;
     rsp->req->completed_ps = clk_.simulator().now();

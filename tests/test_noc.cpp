@@ -109,10 +109,9 @@ TEST(NocMesh, CentralPlacementBeatsCornerPlacement) {
 }
 
 TEST(NocMesh, WritesArePostedAndArrive) {
-  NocRig rig(2, 2, 3, {0}, 50);
-  // Replace the generator profile with posted writes only.
-  rig.gens.clear();
-  rig.iports.clear();
+  // Start from a master-less rig: an attached MasterAdapter keeps a reference
+  // to its port, so ports must outlive the mesh once attached.
+  NocRig rig(2, 2, 3, {}, 0);
   rig.iports.push_back(
       std::make_unique<txn::InitiatorPort>(rig.clk, "w0", 2, 8));
   rig.mesh.attachMaster(*rig.iports.back(), 0);

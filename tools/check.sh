@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# One-command analysis stack for mpsocsim:
+#   1. build + run mpsoc_lint over src/ tests/ tools/
+#   2. full ctest pass under AddressSanitizer + UndefinedBehaviorSanitizer
+#   3. clang-format --dry-run over src/ tests/ tools/ (skipped with a notice
+#      when clang-format is not installed)
+#
+# Usage: tools/check.sh [build-dir]     (default: build-check)
+# Exit status is non-zero if any stage fails.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build-check}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAILED=0
+
+stage() { printf '\n=== %s ===\n' "$*"; }
+
+stage "configure (ASan+UBSan)"
+cmake -B "$BUILD" -S "$ROOT" -DMPSOC_SANITIZE="address;undefined" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo || exit 1
+
+stage "build"
+cmake --build "$BUILD" -j "$JOBS" || exit 1
+
+stage "mpsoc_lint"
+if ! "$BUILD/tools/mpsoc_lint" "$ROOT/src" "$ROOT/tests" "$ROOT/tools"; then
+  FAILED=1
+fi
+
+stage "ctest under ASan+UBSan"
+# halt_on_error makes UBSan findings fail the test instead of just logging.
+if ! (cd "$BUILD" && \
+      ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+      ctest --output-on-failure -j "$JOBS"); then
+  FAILED=1
+fi
+
+stage "clang-format --dry-run"
+if command -v clang-format >/dev/null 2>&1; then
+  if ! find "$ROOT/src" "$ROOT/tests" "$ROOT/tools" \
+        -name '*.cpp' -o -name '*.hpp' | \
+       xargs clang-format --dry-run --Werror; then
+    FAILED=1
+  fi
+else
+  echo "clang-format not installed; skipping format check"
+fi
+
+if [ "$FAILED" -ne 0 ]; then
+  echo
+  echo "check.sh: FAILURES above"
+  exit 1
+fi
+echo
+echo "check.sh: all stages passed"

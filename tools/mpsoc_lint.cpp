@@ -1,0 +1,310 @@
+// mpsoc_lint — repo-specific static checks for the two-phase simulation
+// kernel.  Compiler warnings and clang-tidy cover generic C++ hazards; this
+// tool bans the patterns that specifically corrupt *this* codebase's
+// determinism and phase discipline:
+//
+//   bare-assert         assert() compiles out in the default RelWithDebInfo
+//                       build — simulation code must use SIM_CHECK, which is
+//                       on in every build type.
+//   nondeterminism      rand()/srand()/time()/random_device/system clocks
+//                       make runs unrepeatable; use sim::Rng (seeded, named).
+//   unordered-iter      range-for over a std::unordered_{map,set} visits
+//                       elements in an implementation-defined order — results
+//                       fed into stats or scheduling decisions differ between
+//                       libstdc++ versions and even between runs (pointer
+//                       hashing).  Iterate a deterministic container instead.
+//   missing-override    a redeclaration of a known kernel virtual (evaluate,
+//                       commit, idle, ...) without `override` silently forks
+//                       the hierarchy when the base signature changes.
+//   commit-in-evaluate  calling .commit()/->commit() from an evaluate() body
+//                       bypasses the kernel's commit phase and breaks the
+//                       registered-state timeline (also rejected at runtime
+//                       by the Phase guard, but cheaper to catch here).
+//
+// Usage: mpsoc_lint <dir-or-file>...   (exit 1 when any finding is reported)
+// Suppress a finding with a trailing comment:  // mpsoc-lint: allow(<rule>)
+//
+// The scanner is a line-oriented lexer, not a parser: it strips comments and
+// string literals first, so patterns in documentation or messages don't trip
+// it, and it tracks evaluate() bodies by brace depth.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line;
+  std::string rule;
+  std::string message;
+};
+
+bool isSourceFile(const fs::path& p) {
+  const auto ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+/// True when `text` has an identifier boundary before position `pos`.
+bool boundaryBefore(const std::string& text, std::size_t pos) {
+  if (pos == 0) return true;
+  const char c = text[pos - 1];
+  return !(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == ':' || c == '>');
+}
+
+/// Strip // and /* */ comments and the contents of string/char literals from
+/// one line, tracking block-comment state across lines.  Keeps a copy of the
+/// removed comment text so suppression annotations stay findable.
+std::string stripLine(const std::string& in, bool& in_block_comment,
+                      std::string& comment_text) {
+  std::string out;
+  out.reserve(in.size());
+  comment_text.clear();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in_block_comment) {
+      if (in[i] == '*' && i + 1 < in.size() && in[i + 1] == '/') {
+        in_block_comment = false;
+        ++i;
+      } else {
+        comment_text += in[i];
+      }
+      continue;
+    }
+    const char c = in[i];
+    if (c == '/' && i + 1 < in.size() && in[i + 1] == '/') {
+      comment_text.append(in, i + 2, std::string::npos);
+      break;
+    }
+    if (c == '/' && i + 1 < in.size() && in[i + 1] == '*') {
+      in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out += quote;
+      ++i;
+      while (i < in.size()) {
+        if (in[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (in[i] == quote) break;
+        ++i;
+      }
+      out += quote;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+bool suppressed(const std::string& comment, const std::string& rule) {
+  return comment.find("mpsoc-lint: allow(" + rule + ")") != std::string::npos;
+}
+
+class FileLinter {
+ public:
+  FileLinter(std::string path, bool kernel_code)
+      : path_(std::move(path)), kernel_code_(kernel_code) {}
+
+  std::vector<Finding> run() {
+    std::ifstream ifs(path_);
+    std::string raw;
+    bool in_block = false;
+    std::size_t lineno = 0;
+    while (std::getline(ifs, raw)) {
+      ++lineno;
+      std::string comment;
+      const std::string code = stripLine(raw, in_block, comment);
+      collectUnorderedDecls(code);
+      trackEvaluateBody(code);
+      checkLine(code, comment, lineno);
+    }
+    return std::move(findings_);
+  }
+
+ private:
+  void report(std::size_t line, const std::string& rule, std::string msg) {
+    findings_.push_back({path_, line, rule, std::move(msg)});
+  }
+
+  /// Remember names of variables/members declared as unordered containers.
+  void collectUnorderedDecls(const std::string& code) {
+    static const std::regex decl(
+        R"(std::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+(\w+))");
+    auto begin = std::sregex_iterator(code.begin(), code.end(), decl);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      unordered_names_.insert((*it)[1].str());
+    }
+  }
+
+  /// Track whether the current line is inside an `evaluate()` function body.
+  void trackEvaluateBody(const std::string& code) {
+    if (evaluate_depth_ == 0 &&
+        code.find("evaluate()") != std::string::npos &&
+        code.find(";") == std::string::npos) {
+      in_evaluate_ = true;  // signature seen; body opens at the next '{'
+    }
+    for (const char c : code) {
+      if (c == '{') {
+        if (in_evaluate_ || evaluate_depth_ > 0) ++evaluate_depth_;
+        in_evaluate_ = false;
+      } else if (c == '}') {
+        if (evaluate_depth_ > 0) --evaluate_depth_;
+      }
+    }
+  }
+
+  void checkLine(const std::string& code, const std::string& comment,
+                 std::size_t lineno) {
+    // bare-assert: simulation code only (tests may use gtest's ASSERT_*,
+    // which this case-sensitive word match does not touch).
+    if (kernel_code_ && !suppressed(comment, "bare-assert")) {
+      const std::string needle = "assert(";
+      for (std::size_t pos = code.find(needle); pos != std::string::npos;
+           pos = code.find(needle, pos + 1)) {
+        if (!boundaryBefore(code, pos)) continue;  // static_assert, ASSERT_EQ
+        report(lineno, "bare-assert",
+               "bare assert() compiles out in release builds; use SIM_CHECK "
+               "(sim/check.hpp)");
+      }
+    }
+
+    // nondeterminism: banned sources of run-to-run variation.
+    if (kernel_code_ && !suppressed(comment, "nondeterminism")) {
+      static const std::vector<std::pair<std::string, std::string>> banned = {
+          {"rand(", "rand() is unseeded global state; use sim::Rng"},
+          {"srand(", "srand() is global state; use sim::Rng"},
+          {"time(", "wall-clock time makes runs unrepeatable; use "
+                    "Simulator::now()"},
+          {"random_device", "std::random_device is nondeterministic; use "
+                            "sim::Rng (seeded, per-name streams)"},
+          {"system_clock", "wall-clock time makes runs unrepeatable"},
+          {"steady_clock", "host timing must not feed simulation state"},
+          {"high_resolution_clock", "host timing must not feed simulation "
+                                    "state"},
+      };
+      for (const auto& [needle, why] : banned) {
+        for (std::size_t pos = code.find(needle); pos != std::string::npos;
+             pos = code.find(needle, pos + 1)) {
+          if (!boundaryBefore(code, pos)) continue;
+          report(lineno, "nondeterminism", why);
+        }
+      }
+    }
+
+    // unordered-iter: range-for over a known unordered container.
+    if (!suppressed(comment, "unordered-iter")) {
+      static const std::regex range_for(R"(for\s*\([^;)]*:\s*([\w.\->]+)\s*\))");
+      std::smatch m;
+      if (std::regex_search(code, m, range_for)) {
+        std::string range = m[1].str();
+        const auto dot = range.find_last_of(".>");
+        if (dot != std::string::npos) range = range.substr(dot + 1);
+        if (unordered_names_.count(range)) {
+          report(lineno, "unordered-iter",
+                 "range-for over std::unordered container '" + range +
+                     "' has implementation-defined order; iterate a "
+                     "deterministic container or sort first");
+        }
+      }
+    }
+
+    // missing-override: redeclarations of known kernel virtuals.
+    if (!suppressed(comment, "missing-override")) {
+      static const std::regex redecl(
+          R"((?:void|bool)\s+(evaluate|commit|endOfSimulation|idle|saveState|restoreState|rollbackStaged)\s*\(\s*\)\s*(?:const\s*)?(?:\{|;|$))");
+      std::smatch m;
+      if (std::regex_search(code, m, redecl) &&
+          code.find("virtual") == std::string::npos &&
+          code.find("override") == std::string::npos &&
+          code.find("= 0") == std::string::npos) {
+        report(lineno, "missing-override",
+               "'" + m[1].str() +
+                   "()' matches a kernel virtual but lacks `override` (or "
+                   "`virtual` for a new base declaration)");
+      }
+    }
+
+    // commit-in-evaluate: explicit commit() calls inside evaluate() bodies.
+    if (evaluate_depth_ > 0 && !suppressed(comment, "commit-in-evaluate")) {
+      static const std::regex commit_call(R"((?:\.|->)commit\s*\(\s*\))");
+      if (std::regex_search(code, commit_call)) {
+        report(lineno, "commit-in-evaluate",
+               "evaluate() must stage state, never commit it; the kernel "
+               "commits at the end of the edge");
+      }
+    }
+  }
+
+  std::string path_;
+  bool kernel_code_;
+  std::vector<Finding> findings_;
+  std::set<std::string> unordered_names_;
+  bool in_evaluate_ = false;
+  int evaluate_depth_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: mpsoc_lint <dir-or-file>...\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (int i = 1; i < argc; ++i) {
+    fs::path root(argv[i]);
+    if (fs::is_directory(root)) {
+      for (const auto& e : fs::recursive_directory_iterator(root)) {
+        if (e.is_regular_file() && isSourceFile(e.path())) {
+          files.push_back(e.path());
+        }
+      }
+    } else if (fs::is_regular_file(root)) {
+      files.push_back(root);
+    } else {
+      std::cerr << "mpsoc_lint: no such file or directory: " << root << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> all;
+  for (const auto& f : files) {
+    // The kernel-discipline rules (bare-assert, nondeterminism) apply to
+    // simulation code under src/; structural rules apply everywhere.
+    const bool kernel_code =
+        f.string().find("src/") != std::string::npos ||
+        f.string().find("src\\") != std::string::npos;
+    auto found = FileLinter(f.string(), kernel_code).run();
+    all.insert(all.end(), found.begin(), found.end());
+  }
+
+  for (const auto& f : all) {
+    std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  if (!all.empty()) {
+    std::cerr << all.size() << " finding(s) in " << files.size()
+              << " file(s)\n";
+    return 1;
+  }
+  std::cout << "mpsoc_lint: " << files.size() << " files clean\n";
+  return 0;
+}
