@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_arbitration"
+  "../bench/bench_abl_arbitration.pdb"
+  "CMakeFiles/bench_abl_arbitration.dir/bench_abl_arbitration.cpp.o"
+  "CMakeFiles/bench_abl_arbitration.dir/bench_abl_arbitration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_arbitration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_bridges"
+  "../bench/bench_abl_bridges.pdb"
+  "CMakeFiles/bench_abl_bridges.dir/bench_abl_bridges.cpp.o"
+  "CMakeFiles/bench_abl_bridges.dir/bench_abl_bridges.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_bridges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_buffering"
+  "../bench/bench_abl_buffering.pdb"
+  "CMakeFiles/bench_abl_buffering.dir/bench_abl_buffering.cpp.o"
+  "CMakeFiles/bench_abl_buffering.dir/bench_abl_buffering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

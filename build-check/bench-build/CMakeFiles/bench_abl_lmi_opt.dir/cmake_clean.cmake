@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_lmi_opt"
+  "../bench/bench_abl_lmi_opt.pdb"
+  "CMakeFiles/bench_abl_lmi_opt.dir/bench_abl_lmi_opt.cpp.o"
+  "CMakeFiles/bench_abl_lmi_opt.dir/bench_abl_lmi_opt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_lmi_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

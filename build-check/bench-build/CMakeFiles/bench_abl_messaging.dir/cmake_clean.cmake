@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_messaging"
+  "../bench/bench_abl_messaging.pdb"
+  "CMakeFiles/bench_abl_messaging.dir/bench_abl_messaging.cpp.o"
+  "CMakeFiles/bench_abl_messaging.dir/bench_abl_messaging.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_messaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

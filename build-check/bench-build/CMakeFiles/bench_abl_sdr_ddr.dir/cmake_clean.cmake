@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_sdr_ddr"
+  "../bench/bench_abl_sdr_ddr.pdb"
+  "CMakeFiles/bench_abl_sdr_ddr.dir/bench_abl_sdr_ddr.cpp.o"
+  "CMakeFiles/bench_abl_sdr_ddr.dir/bench_abl_sdr_ddr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_sdr_ddr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_abl_sdr_ddr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_platform_instances"
+  "../bench/bench_fig3_platform_instances.pdb"
+  "CMakeFiles/bench_fig3_platform_instances.dir/bench_fig3_platform_instances.cpp.o"
+  "CMakeFiles/bench_fig3_platform_instances.dir/bench_fig3_platform_instances.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_platform_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_memory_speed"
+  "../bench/bench_fig4_memory_speed.pdb"
+  "CMakeFiles/bench_fig4_memory_speed.dir/bench_fig4_memory_speed.cpp.o"
+  "CMakeFiles/bench_fig4_memory_speed.dir/bench_fig4_memory_speed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_memory_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

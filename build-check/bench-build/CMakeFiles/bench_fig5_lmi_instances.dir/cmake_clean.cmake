@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_lmi_instances"
+  "../bench/bench_fig5_lmi_instances.pdb"
+  "CMakeFiles/bench_fig5_lmi_instances.dir/bench_fig5_lmi_instances.cpp.o"
+  "CMakeFiles/bench_fig5_lmi_instances.dir/bench_fig5_lmi_instances.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_lmi_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

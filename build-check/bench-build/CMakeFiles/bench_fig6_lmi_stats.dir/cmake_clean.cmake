@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_lmi_stats"
+  "../bench/bench_fig6_lmi_stats.pdb"
+  "CMakeFiles/bench_fig6_lmi_stats.dir/bench_fig6_lmi_stats.cpp.o"
+  "CMakeFiles/bench_fig6_lmi_stats.dir/bench_fig6_lmi_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_lmi_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

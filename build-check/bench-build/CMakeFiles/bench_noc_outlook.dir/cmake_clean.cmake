@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_noc_outlook"
+  "../bench/bench_noc_outlook.pdb"
+  "CMakeFiles/bench_noc_outlook.dir/bench_noc_outlook.cpp.o"
+  "CMakeFiles/bench_noc_outlook.dir/bench_noc_outlook.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noc_outlook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec411_many_to_many"
+  "../bench/bench_sec411_many_to_many.pdb"
+  "CMakeFiles/bench_sec411_many_to_many.dir/bench_sec411_many_to_many.cpp.o"
+  "CMakeFiles/bench_sec411_many_to_many.dir/bench_sec411_many_to_many.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec411_many_to_many.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec411_many_to_many.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec412_many_to_one"
+  "../bench/bench_sec412_many_to_one.pdb"
+  "CMakeFiles/bench_sec412_many_to_one.dir/bench_sec412_many_to_one.cpp.o"
+  "CMakeFiles/bench_sec412_many_to_one.dir/bench_sec412_many_to_one.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec412_many_to_one.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

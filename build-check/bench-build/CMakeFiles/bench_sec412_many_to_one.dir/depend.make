@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec412_many_to_one.
+# This may be replaced when dependencies are built.

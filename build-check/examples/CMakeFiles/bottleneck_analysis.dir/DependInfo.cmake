@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/bottleneck_analysis.cpp" "examples/CMakeFiles/bottleneck_analysis.dir/bottleneck_analysis.cpp.o" "gcc" "examples/CMakeFiles/bottleneck_analysis.dir/bottleneck_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-check/src/core/CMakeFiles/mpsoc_core.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/platform/CMakeFiles/mpsoc_platform.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/stbus/CMakeFiles/mpsoc_stbus.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/ahb/CMakeFiles/mpsoc_ahb.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/axi/CMakeFiles/mpsoc_axi.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/bridge/CMakeFiles/mpsoc_bridge.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/mem/CMakeFiles/mpsoc_mem.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/iptg/CMakeFiles/mpsoc_iptg.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/cpu/CMakeFiles/mpsoc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/dma/CMakeFiles/mpsoc_dma.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/txn/CMakeFiles/mpsoc_txn.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/stats/CMakeFiles/mpsoc_stats.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/sim/CMakeFiles/mpsoc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bottleneck_analysis.dir/bottleneck_analysis.cpp.o"
+  "CMakeFiles/bottleneck_analysis.dir/bottleneck_analysis.cpp.o.d"
+  "bottleneck_analysis"
+  "bottleneck_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottleneck_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddr_tuning.dir/ddr_tuning.cpp.o"
+  "CMakeFiles/ddr_tuning.dir/ddr_tuning.cpp.o.d"
+  "ddr_tuning"
+  "ddr_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddr_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

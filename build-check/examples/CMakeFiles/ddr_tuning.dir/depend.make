@@ -1,0 +1,2 @@
+# Empty dependencies file for ddr_tuning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_budget.dir/realtime_budget.cpp.o"
+  "CMakeFiles/realtime_budget.dir/realtime_budget.cpp.o.d"
+  "realtime_budget"
+  "realtime_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

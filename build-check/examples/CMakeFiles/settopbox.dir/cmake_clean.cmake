@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/settopbox.dir/settopbox.cpp.o"
+  "CMakeFiles/settopbox.dir/settopbox.cpp.o.d"
+  "settopbox"
+  "settopbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/settopbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-check/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("stats")
+subdirs("txn")
+subdirs("stbus")
+subdirs("ahb")
+subdirs("axi")
+subdirs("mem")
+subdirs("bridge")
+subdirs("iptg")
+subdirs("dma")
+subdirs("noc")
+subdirs("cpu")
+subdirs("platform")
+subdirs("core")

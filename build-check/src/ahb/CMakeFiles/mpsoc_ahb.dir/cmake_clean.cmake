@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsoc_ahb.dir/ahb_layer.cpp.o"
+  "CMakeFiles/mpsoc_ahb.dir/ahb_layer.cpp.o.d"
+  "libmpsoc_ahb.a"
+  "libmpsoc_ahb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsoc_ahb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsoc_axi.dir/axi_bus.cpp.o"
+  "CMakeFiles/mpsoc_axi.dir/axi_bus.cpp.o.d"
+  "libmpsoc_axi.a"
+  "libmpsoc_axi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsoc_axi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mpsoc_axi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsoc_bridge.dir/bridge.cpp.o"
+  "CMakeFiles/mpsoc_bridge.dir/bridge.cpp.o.d"
+  "libmpsoc_bridge.a"
+  "libmpsoc_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsoc_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

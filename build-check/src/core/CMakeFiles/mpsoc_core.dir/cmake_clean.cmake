@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsoc_core.dir/analysis.cpp.o"
+  "CMakeFiles/mpsoc_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/mpsoc_core.dir/experiment.cpp.o"
+  "CMakeFiles/mpsoc_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/mpsoc_core.dir/export.cpp.o"
+  "CMakeFiles/mpsoc_core.dir/export.cpp.o.d"
+  "CMakeFiles/mpsoc_core.dir/rigs.cpp.o"
+  "CMakeFiles/mpsoc_core.dir/rigs.cpp.o.d"
+  "libmpsoc_core.a"
+  "libmpsoc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsoc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpsoc_core.a"
+)

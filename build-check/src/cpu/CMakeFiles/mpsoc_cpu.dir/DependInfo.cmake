@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cache.cpp" "src/cpu/CMakeFiles/mpsoc_cpu.dir/cache.cpp.o" "gcc" "src/cpu/CMakeFiles/mpsoc_cpu.dir/cache.cpp.o.d"
+  "/root/repo/src/cpu/st220.cpp" "src/cpu/CMakeFiles/mpsoc_cpu.dir/st220.cpp.o" "gcc" "src/cpu/CMakeFiles/mpsoc_cpu.dir/st220.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-check/src/txn/CMakeFiles/mpsoc_txn.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/stats/CMakeFiles/mpsoc_stats.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/sim/CMakeFiles/mpsoc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsoc_cpu.dir/cache.cpp.o"
+  "CMakeFiles/mpsoc_cpu.dir/cache.cpp.o.d"
+  "CMakeFiles/mpsoc_cpu.dir/st220.cpp.o"
+  "CMakeFiles/mpsoc_cpu.dir/st220.cpp.o.d"
+  "libmpsoc_cpu.a"
+  "libmpsoc_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsoc_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dma/dma.cpp" "src/dma/CMakeFiles/mpsoc_dma.dir/dma.cpp.o" "gcc" "src/dma/CMakeFiles/mpsoc_dma.dir/dma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-check/src/txn/CMakeFiles/mpsoc_txn.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/stats/CMakeFiles/mpsoc_stats.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/sim/CMakeFiles/mpsoc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsoc_dma.dir/dma.cpp.o"
+  "CMakeFiles/mpsoc_dma.dir/dma.cpp.o.d"
+  "libmpsoc_dma.a"
+  "libmpsoc_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsoc_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

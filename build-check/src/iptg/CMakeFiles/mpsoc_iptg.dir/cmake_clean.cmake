@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsoc_iptg.dir/config_parser.cpp.o"
+  "CMakeFiles/mpsoc_iptg.dir/config_parser.cpp.o.d"
+  "CMakeFiles/mpsoc_iptg.dir/iptg.cpp.o"
+  "CMakeFiles/mpsoc_iptg.dir/iptg.cpp.o.d"
+  "CMakeFiles/mpsoc_iptg.dir/trace.cpp.o"
+  "CMakeFiles/mpsoc_iptg.dir/trace.cpp.o.d"
+  "libmpsoc_iptg.a"
+  "libmpsoc_iptg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsoc_iptg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsoc_mem.dir/lmi_controller.cpp.o"
+  "CMakeFiles/mpsoc_mem.dir/lmi_controller.cpp.o.d"
+  "CMakeFiles/mpsoc_mem.dir/sdram.cpp.o"
+  "CMakeFiles/mpsoc_mem.dir/sdram.cpp.o.d"
+  "CMakeFiles/mpsoc_mem.dir/simple_memory.cpp.o"
+  "CMakeFiles/mpsoc_mem.dir/simple_memory.cpp.o.d"
+  "libmpsoc_mem.a"
+  "libmpsoc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsoc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

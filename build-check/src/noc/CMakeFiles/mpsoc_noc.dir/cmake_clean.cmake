@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsoc_noc.dir/mesh.cpp.o"
+  "CMakeFiles/mpsoc_noc.dir/mesh.cpp.o.d"
+  "CMakeFiles/mpsoc_noc.dir/router.cpp.o"
+  "CMakeFiles/mpsoc_noc.dir/router.cpp.o.d"
+  "libmpsoc_noc.a"
+  "libmpsoc_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsoc_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

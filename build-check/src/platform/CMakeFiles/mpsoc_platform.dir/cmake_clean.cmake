@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsoc_platform.dir/platform.cpp.o"
+  "CMakeFiles/mpsoc_platform.dir/platform.cpp.o.d"
+  "CMakeFiles/mpsoc_platform.dir/scenario_parser.cpp.o"
+  "CMakeFiles/mpsoc_platform.dir/scenario_parser.cpp.o.d"
+  "CMakeFiles/mpsoc_platform.dir/workloads.cpp.o"
+  "CMakeFiles/mpsoc_platform.dir/workloads.cpp.o.d"
+  "libmpsoc_platform.a"
+  "libmpsoc_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsoc_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

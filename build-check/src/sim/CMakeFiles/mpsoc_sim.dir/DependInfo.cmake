@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/check.cpp" "src/sim/CMakeFiles/mpsoc_sim.dir/check.cpp.o" "gcc" "src/sim/CMakeFiles/mpsoc_sim.dir/check.cpp.o.d"
+  "/root/repo/src/sim/clock.cpp" "src/sim/CMakeFiles/mpsoc_sim.dir/clock.cpp.o" "gcc" "src/sim/CMakeFiles/mpsoc_sim.dir/clock.cpp.o.d"
+  "/root/repo/src/sim/component.cpp" "src/sim/CMakeFiles/mpsoc_sim.dir/component.cpp.o" "gcc" "src/sim/CMakeFiles/mpsoc_sim.dir/component.cpp.o.d"
+  "/root/repo/src/sim/log.cpp" "src/sim/CMakeFiles/mpsoc_sim.dir/log.cpp.o" "gcc" "src/sim/CMakeFiles/mpsoc_sim.dir/log.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/mpsoc_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/mpsoc_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/sim/CMakeFiles/mpsoc_sim.dir/vcd.cpp.o" "gcc" "src/sim/CMakeFiles/mpsoc_sim.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

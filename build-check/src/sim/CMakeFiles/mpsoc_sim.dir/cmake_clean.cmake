@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsoc_sim.dir/check.cpp.o"
+  "CMakeFiles/mpsoc_sim.dir/check.cpp.o.d"
+  "CMakeFiles/mpsoc_sim.dir/clock.cpp.o"
+  "CMakeFiles/mpsoc_sim.dir/clock.cpp.o.d"
+  "CMakeFiles/mpsoc_sim.dir/component.cpp.o"
+  "CMakeFiles/mpsoc_sim.dir/component.cpp.o.d"
+  "CMakeFiles/mpsoc_sim.dir/log.cpp.o"
+  "CMakeFiles/mpsoc_sim.dir/log.cpp.o.d"
+  "CMakeFiles/mpsoc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mpsoc_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/mpsoc_sim.dir/vcd.cpp.o"
+  "CMakeFiles/mpsoc_sim.dir/vcd.cpp.o.d"
+  "libmpsoc_sim.a"
+  "libmpsoc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsoc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsoc_stats.dir/probes.cpp.o"
+  "CMakeFiles/mpsoc_stats.dir/probes.cpp.o.d"
+  "CMakeFiles/mpsoc_stats.dir/report.cpp.o"
+  "CMakeFiles/mpsoc_stats.dir/report.cpp.o.d"
+  "libmpsoc_stats.a"
+  "libmpsoc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsoc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsoc_stbus.dir/node.cpp.o"
+  "CMakeFiles/mpsoc_stbus.dir/node.cpp.o.d"
+  "libmpsoc_stbus.a"
+  "libmpsoc_stbus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsoc_stbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/master.cpp" "src/txn/CMakeFiles/mpsoc_txn.dir/master.cpp.o" "gcc" "src/txn/CMakeFiles/mpsoc_txn.dir/master.cpp.o.d"
+  "/root/repo/src/txn/transaction.cpp" "src/txn/CMakeFiles/mpsoc_txn.dir/transaction.cpp.o" "gcc" "src/txn/CMakeFiles/mpsoc_txn.dir/transaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-check/src/sim/CMakeFiles/mpsoc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/stats/CMakeFiles/mpsoc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

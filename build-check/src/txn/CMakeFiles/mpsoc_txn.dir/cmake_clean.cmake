@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsoc_txn.dir/master.cpp.o"
+  "CMakeFiles/mpsoc_txn.dir/master.cpp.o.d"
+  "CMakeFiles/mpsoc_txn.dir/transaction.cpp.o"
+  "CMakeFiles/mpsoc_txn.dir/transaction.cpp.o.d"
+  "libmpsoc_txn.a"
+  "libmpsoc_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsoc_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

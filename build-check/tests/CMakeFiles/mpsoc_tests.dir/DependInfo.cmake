@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ahb_axi.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_ahb_axi.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_ahb_axi.cpp.o.d"
+  "/root/repo/tests/test_bridge.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_bridge.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_bridge.cpp.o.d"
+  "/root/repo/tests/test_bridge_matrix.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_bridge_matrix.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_bridge_matrix.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_cpu.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_cpu.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_cpu.cpp.o.d"
+  "/root/repo/tests/test_determinism.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_determinism.cpp.o.d"
+  "/root/repo/tests/test_dma.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_dma.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_dma.cpp.o.d"
+  "/root/repo/tests/test_export_vcd.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_export_vcd.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_export_vcd.cpp.o.d"
+  "/root/repo/tests/test_invariants.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_invariants.cpp.o.d"
+  "/root/repo/tests/test_iptg.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_iptg.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_iptg.cpp.o.d"
+  "/root/repo/tests/test_iptg_config.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_iptg_config.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_iptg_config.cpp.o.d"
+  "/root/repo/tests/test_lmi.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_lmi.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_lmi.cpp.o.d"
+  "/root/repo/tests/test_noc.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_noc.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_noc.cpp.o.d"
+  "/root/repo/tests/test_platform.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_platform.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_platform.cpp.o.d"
+  "/root/repo/tests/test_protocol_details.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_protocol_details.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_protocol_details.cpp.o.d"
+  "/root/repo/tests/test_scenario_timeline.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_scenario_timeline.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_scenario_timeline.cpp.o.d"
+  "/root/repo/tests/test_sdram_property.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_sdram_property.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_sdram_property.cpp.o.d"
+  "/root/repo/tests/test_sim_kernel.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_sim_kernel.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_sim_kernel.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_stbus_node.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_stbus_node.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_stbus_node.cpp.o.d"
+  "/root/repo/tests/test_txn.cpp" "tests/CMakeFiles/mpsoc_tests.dir/test_txn.cpp.o" "gcc" "tests/CMakeFiles/mpsoc_tests.dir/test_txn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-check/src/core/CMakeFiles/mpsoc_core.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/dma/CMakeFiles/mpsoc_dma.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/noc/CMakeFiles/mpsoc_noc.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/platform/CMakeFiles/mpsoc_platform.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/stbus/CMakeFiles/mpsoc_stbus.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/ahb/CMakeFiles/mpsoc_ahb.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/axi/CMakeFiles/mpsoc_axi.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/bridge/CMakeFiles/mpsoc_bridge.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/mem/CMakeFiles/mpsoc_mem.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/iptg/CMakeFiles/mpsoc_iptg.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/cpu/CMakeFiles/mpsoc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/txn/CMakeFiles/mpsoc_txn.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/stats/CMakeFiles/mpsoc_stats.dir/DependInfo.cmake"
+  "/root/repo/build-check/src/sim/CMakeFiles/mpsoc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

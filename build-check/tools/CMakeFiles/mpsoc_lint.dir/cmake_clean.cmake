@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsoc_lint.dir/mpsoc_lint.cpp.o"
+  "CMakeFiles/mpsoc_lint.dir/mpsoc_lint.cpp.o.d"
+  "mpsoc_lint"
+  "mpsoc_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsoc_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpsoc_run.dir/mpsoc_run.cpp.o"
+  "CMakeFiles/mpsoc_run.dir/mpsoc_run.cpp.o.d"
+  "mpsoc_run"
+  "mpsoc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpsoc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
