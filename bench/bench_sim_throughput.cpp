@@ -4,6 +4,13 @@
 // This is the engineering metric behind the paper's methodology argument:
 // a behavioural cycle-accurate model must be fast enough to sweep
 // architectural variants, unlike RTL simulation.
+//
+// The *Monitored variants run the same workloads with the protocol monitors
+// and the conservation auditor attached; comparing them against the plain
+// variants quantifies the cost of verification.  In a build with
+// -DMPSOC_VERIFY=OFF the monitors compile out entirely and the monitored
+// variants must sit within measurement noise of the plain ones — that is the
+// zero-cost-when-disabled claim, checked by numbers rather than asserted.
 
 #include <benchmark/benchmark.h>
 
@@ -14,7 +21,7 @@ using namespace mpsoc;
 
 namespace {
 
-void BM_SingleLayer(benchmark::State& state) {
+void runSingleLayer(benchmark::State& state, bool verify) {
   const auto masters = static_cast<std::size_t>(state.range(0));
   std::uint64_t cycles = 0;
   for (auto _ : state) {
@@ -22,6 +29,7 @@ void BM_SingleLayer(benchmark::State& state) {
     c.masters = masters;
     c.memories = 2;
     c.txns_per_master = 200;
+    c.verify = verify;
     core::SingleLayerRig rig(c);
     const sim::Picos t = rig.run();
     cycles += t / 5000;  // 200 MHz bus cycles
@@ -30,9 +38,18 @@ void BM_SingleLayer(benchmark::State& state) {
   state.counters["sim_cycles/s"] = benchmark::Counter(
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
+
+void BM_SingleLayer(benchmark::State& state) {
+  runSingleLayer(state, /*verify=*/false);
+}
 BENCHMARK(BM_SingleLayer)->Arg(2)->Arg(6)->Arg(12);
 
-void BM_FullPlatform(benchmark::State& state) {
+void BM_SingleLayerMonitored(benchmark::State& state) {
+  runSingleLayer(state, /*verify=*/true);
+}
+BENCHMARK(BM_SingleLayerMonitored)->Arg(2)->Arg(6)->Arg(12);
+
+void runFullPlatform(benchmark::State& state, bool verify) {
   std::uint64_t cycles = 0;
   for (auto _ : state) {
     platform::PlatformConfig cfg;
@@ -41,6 +58,7 @@ void BM_FullPlatform(benchmark::State& state) {
     cfg.memory = state.range(0) == 0 ? platform::MemoryKind::OnChip
                                      : platform::MemoryKind::Lmi;
     cfg.workload_scale = 0.1;
+    cfg.verify = verify;
     platform::Platform p(cfg);
     const sim::Picos t = p.run();
     cycles += t / 4000;  // 250 MHz central-node cycles
@@ -49,7 +67,16 @@ void BM_FullPlatform(benchmark::State& state) {
   state.counters["sim_cycles/s"] = benchmark::Counter(
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
+
+void BM_FullPlatform(benchmark::State& state) {
+  runFullPlatform(state, /*verify=*/false);
+}
 BENCHMARK(BM_FullPlatform)->Arg(0)->Arg(1);
+
+void BM_FullPlatformMonitored(benchmark::State& state) {
+  runFullPlatform(state, /*verify=*/true);
+}
+BENCHMARK(BM_FullPlatformMonitored)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -1,6 +1,8 @@
 #include "ahb/ahb_layer.hpp"
 
 #include "sim/check.hpp"
+#include "verify/context.hpp"
+#include "verify/port_monitor.hpp"
 
 namespace mpsoc::ahb {
 
@@ -9,6 +11,23 @@ using txn::RequestPtr;
 
 AhbLayer::AhbLayer(sim::ClockDomain& clk, std::string name, AhbLayerConfig cfg)
     : txn::InterconnectBase(clk, std::move(name)), cfg_(cfg), arb_(cfg.arb) {}
+
+void AhbLayer::attachMonitors(verify::VerifyContext& ctx) {
+#if MPSOC_VERIFY
+  auto ledger = std::make_shared<verify::SharedLedger>();
+  ledger->cap = 1;  // no split transactions: one non-posted owner at a time
+  for (std::size_t i = 0; i < initiators_.size(); ++i) {
+    verify::InitiatorRules rules;
+    rules.in_order = true;
+    rules.max_outstanding = 1;
+    rules.ledger = ledger;
+    ctx.add<verify::InitiatorMonitor>(name_ + ".mon.i" + std::to_string(i),
+                                      &clk_, *initiators_[i], rules);
+  }
+#else
+  (void)ctx;
+#endif
+}
 
 void AhbLayer::evaluate() {
   // At most one transaction owns the layer; `advance()` may complete it this

@@ -35,6 +35,11 @@ class AhbLayer final : public txn::InterconnectBase {
   /// The single shared channel (address + both data paths).
   const stats::ChannelUtilization& channel() const { return chan_; }
 
+  /// One InitiatorMonitor per initiator port, all sharing a one-transaction
+  /// ledger: AHB has no split transactions, so a single non-posted
+  /// transaction owns the layer from grant to last response beat.
+  void attachMonitors(verify::VerifyContext& ctx) override;
+
  private:
   enum class State : std::uint8_t {
     Idle,          ///< no transaction owns the layer

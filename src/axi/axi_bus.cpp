@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include "sim/check.hpp"
+#include "verify/context.hpp"
+#include "verify/port_monitor.hpp"
 
 namespace mpsoc::axi {
 
@@ -11,6 +13,20 @@ using txn::ResponsePtr;
 
 AxiBus::AxiBus(sim::ClockDomain& clk, std::string name, AxiBusConfig cfg)
     : txn::InterconnectBase(clk, std::move(name)), cfg_(cfg) {}
+
+void AxiBus::attachMonitors(verify::VerifyContext& ctx) {
+#if MPSOC_VERIFY
+  verify::InitiatorRules rules;
+  rules.in_order = false;  // transaction IDs allow out-of-order completion
+  rules.max_outstanding = cfg_.max_outstanding_per_initiator;
+  for (std::size_t i = 0; i < initiators_.size(); ++i) {
+    ctx.add<verify::InitiatorMonitor>(name_ + ".mon.i" + std::to_string(i),
+                                      &clk_, *initiators_[i], rules);
+  }
+#else
+  (void)ctx;
+#endif
+}
 
 void AxiBus::finalize() {
   if (finalized_) return;

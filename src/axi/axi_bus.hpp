@@ -53,6 +53,10 @@ class AxiBus final : public txn::InterconnectBase {
 
   void finalize();
 
+  /// One InitiatorMonitor per initiator port: out-of-order completion is
+  /// legal (transaction IDs), outstanding cap from config.
+  void attachMonitors(verify::VerifyContext& ctx) override;
+
   const stats::ChannelUtilization& arChannel(std::size_t target) const {
     return ar_[target].chan;
   }

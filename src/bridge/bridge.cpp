@@ -1,6 +1,8 @@
 #include "bridge/bridge.hpp"
 
 #include "sim/check.hpp"
+#include "verify/bridge_monitor.hpp"
+#include "verify/context.hpp"
 #include <memory>
 
 namespace mpsoc::bridge {
@@ -143,6 +145,19 @@ Bridge::Bridge(sim::ClockDomain& clk_a, sim::ClockDomain& clk_b,
 }
 
 Bridge::~Bridge() = default;
+
+void Bridge::attachMonitors(verify::VerifyContext& ctx) {
+#if MPSOC_VERIFY
+  ctx.add<verify::BridgeMonitor>(name_ + ".mon", &clk_a_, a_port_, b_port_,
+                                 cfg_.width_b_bytes);
+#else
+  (void)ctx;
+#endif
+}
+
+void Bridge::setAuditor(txn::TxnAuditor* auditor) {
+  master_side_->setAuditor(auditor);
+}
 
 void Bridge::slaveEvaluate() {
   const sim::Picos now = clk_a_.simulator().now();

@@ -32,6 +32,10 @@
 #include "txn/master.hpp"
 #include "txn/ports.hpp"
 
+namespace mpsoc::verify {
+class VerifyContext;
+}  // namespace mpsoc::verify
+
 namespace mpsoc::bridge {
 
 struct BridgeConfig {
@@ -85,6 +89,12 @@ class Bridge {
 
   std::uint64_t readsForwarded() const { return reads_fwd_; }
   std::uint64_t writesForwarded() const { return writes_fwd_; }
+
+  /// Attach the end-to-end fidelity monitor (no loss / duplication /
+  /// corruption across the crossing).  No-op with MPSOC_VERIFY=OFF.
+  void attachMonitors(verify::VerifyContext& ctx);
+  /// Conservation auditing for the side-B clones the master side issues.
+  void setAuditor(txn::TxnAuditor* auditor);
 
   bool idle() const;  // plain method; Bridge is not a Component  // mpsoc-lint: allow(missing-override)
 

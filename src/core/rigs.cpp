@@ -56,6 +56,13 @@ SingleLayerRig::SingleLayerRig(SingleLayerConfig cfg) : cfg_(cfg) {
     gens_.push_back(std::make_unique<iptg::Iptg>(
         *clk_, "g" + std::to_string(i), *iports_.back(), icfg));
   }
+
+  if (cfg_.verify) {
+    verify_ = std::make_unique<verify::VerifyContext>();
+    bus_->attachMonitors(*verify_);
+    for (auto& m : mems_) m->attachMonitors(*verify_);
+    for (auto& g : gens_) g->setAuditor(&verify_->auditor());
+  }
 }
 
 SingleLayerRig::~SingleLayerRig() = default;
@@ -63,6 +70,7 @@ SingleLayerRig::~SingleLayerRig() = default;
 sim::Picos SingleLayerRig::run() {
   exec_ps_ = sim_.runUntilIdle(1'000'000'000'000ull);
   sim_.finish();
+  if (verify_) verify_->finish(allDone());
   return exec_ps_;
 }
 

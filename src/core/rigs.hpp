@@ -15,6 +15,7 @@
 #include "sim/simulator.hpp"
 #include "stbus/node.hpp"
 #include "txn/ports.hpp"
+#include "verify/context.hpp"
 
 namespace mpsoc::core {
 
@@ -40,6 +41,8 @@ struct SingleLayerConfig {
   bool spray_over_all_memories = true;  ///< many-to-many vs partitioned
   double bus_mhz = 200.0;
   std::uint64_t seed = 1;
+  /// Attach protocol monitors + conservation auditor (src/verify).
+  bool verify = false;
 };
 
 class SingleLayerRig {
@@ -63,9 +66,13 @@ class SingleLayerRig {
   txn::InterconnectBase& bus() { return *bus_; }
   const SingleLayerConfig& config() const { return cfg_; }
 
+  /// Monitor registry, or nullptr when built without `cfg.verify`.
+  verify::VerifyContext* verifyContext() { return verify_.get(); }
+
  private:
   SingleLayerConfig cfg_;
   sim::Simulator sim_;
+  std::unique_ptr<verify::VerifyContext> verify_;
   sim::ClockDomain* clk_;
   std::unique_ptr<txn::InterconnectBase> bus_;
   std::vector<std::unique_ptr<txn::InitiatorPort>> iports_;

@@ -4,6 +4,9 @@
 #include <vector>
 
 #include "sim/check.hpp"
+#include "verify/context.hpp"
+#include "verify/port_monitor.hpp"
+#include "verify/sdram_monitor.hpp"
 
 namespace mpsoc::mem {
 
@@ -16,6 +19,19 @@ LmiController::LmiController(sim::ClockDomain& clk, std::string name,
       device_(std::make_unique<SdramDevice>(
           cfg.timing, cfg.geometry,
           clk.period() * std::max(1u, cfg.clock_divider))) {}
+
+void LmiController::attachMonitors(verify::VerifyContext& ctx) {
+#if MPSOC_VERIFY
+  ctx.add<verify::TargetMonitor>(name_ + ".mon", &clk_, port_);
+  auto& sdram = ctx.add<verify::SdramLegalityMonitor>(
+      name_ + ".sdram.mon", &clk_, device_->timing(),
+      device_->geometry().banks, device_->clkPeriod());
+  device_->setCommandObserver(
+      [&sdram](const SdramCommand& c) { sdram.onCommand(c); });
+#else
+  (void)ctx;
+#endif
+}
 
 std::size_t LmiController::selectRequest() const {
   const std::size_t window = std::min<std::size_t>(

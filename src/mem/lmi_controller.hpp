@@ -33,6 +33,10 @@
 #include "sim/component.hpp"
 #include "txn/ports.hpp"
 
+namespace mpsoc::verify {
+class VerifyContext;
+}  // namespace mpsoc::verify
+
 namespace mpsoc::mem {
 
 struct LmiConfig {
@@ -76,6 +80,11 @@ class LmiController final : public sim::Component {
   }
 
   void setRequestObserver(RequestObserver obs) { observer_ = std::move(obs); }
+
+  /// Attach a TargetMonitor to the bus interface plus the SDRAM command
+  /// legality monitor (shadow tRAS/tRCD/tRP/tRC/tWR/tRFC windows) to the
+  /// device's command stream.
+  void attachMonitors(verify::VerifyContext& ctx);
 
  private:
   /// Index (within the lookahead window) of the request to serve next.

@@ -22,6 +22,16 @@ bool SdramDevice::maybeRefresh(sim::Picos now) {
     if (b.open) start = std::max(start, b.pre_ok);
   }
   const sim::Picos done = start + cycles(timing_.t_rfc);
+#if MPSOC_VERIFY
+  if (cmd_obs_) {
+    SdramCommand c;
+    c.kind = SdramCommand::Kind::Refresh;
+    c.at = start;
+    c.data_begin = start;
+    c.data_end = done;
+    cmd_obs_(c);
+  }
+#endif
   for (auto& b : banks_) {
     b.open = false;
     b.act_ok = std::max(b.act_ok, done);
@@ -40,6 +50,21 @@ SdramAccess SdramDevice::schedule(std::uint64_t addr, std::uint32_t beats,
   SdramAccess out;
   sim::Picos cas_at;
 
+#if MPSOC_VERIFY
+  const auto emit = [&](SdramCommand::Kind kind, sim::Picos at,
+                        sim::Picos data_begin = 0, sim::Picos data_end = 0) {
+    if (!cmd_obs_) return;
+    SdramCommand c;
+    c.kind = kind;
+    c.bank = bankOf(addr);
+    c.row = row;
+    c.at = at;
+    c.data_begin = data_begin;
+    c.data_end = data_end;
+    cmd_obs_(c);
+  };
+#endif
+
   if (bank.open && bank.row == row) {
     out.outcome = RowOutcome::Hit;
     ++hits_;
@@ -49,6 +74,9 @@ SdramAccess SdramDevice::schedule(std::uint64_t addr, std::uint32_t beats,
     ++misses_;
     const sim::Picos act_at = std::max(now, bank.act_ok);
     cas_at = act_at + cycles(timing_.t_rcd);
+#if MPSOC_VERIFY
+    emit(SdramCommand::Kind::Activate, act_at);
+#endif
     bank.open = true;
     bank.row = row;
     bank.act_ok = act_at + cycles(timing_.t_rc);
@@ -60,6 +88,10 @@ SdramAccess SdramDevice::schedule(std::uint64_t addr, std::uint32_t beats,
     const sim::Picos act_at =
         std::max(pre_at + cycles(timing_.t_rp), bank.act_ok);
     cas_at = act_at + cycles(timing_.t_rcd);
+#if MPSOC_VERIFY
+    emit(SdramCommand::Kind::Precharge, pre_at);
+    emit(SdramCommand::Kind::Activate, act_at);
+#endif
     bank.row = row;
     bank.act_ok = act_at + cycles(timing_.t_rc);
     bank.pre_ok = act_at + cycles(timing_.t_ras);
@@ -83,6 +115,10 @@ SdramAccess SdramDevice::schedule(std::uint64_t addr, std::uint32_t beats,
     bank.cas_ok = std::max(bank.cas_ok, out.data_end - duration / 2);
     bank.pre_ok = std::max(bank.pre_ok, out.data_end);
   }
+#if MPSOC_VERIFY
+  emit(is_write ? SdramCommand::Kind::Write : SdramCommand::Kind::Read,
+       cas_at, out.first_beat, out.data_end);
+#endif
   data_bus_free_ = out.data_end;
   return out;
 }

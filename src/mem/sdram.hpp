@@ -13,9 +13,14 @@
 // and bandwidth differences.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/time.hpp"
+
+#ifndef MPSOC_VERIFY
+#define MPSOC_VERIFY 0
+#endif
 
 namespace mpsoc::mem {
 
@@ -37,6 +42,21 @@ struct SdramGeometry {
 };
 
 enum class RowOutcome : std::uint8_t { Hit, Miss, Conflict };
+
+/// One implied device command resolved by schedule()/maybeRefresh(), reported
+/// to the optional command observer (consumed by the SDRAM legality monitor
+/// in src/verify).  Emission is compiled out with MPSOC_VERIFY=OFF.
+struct SdramCommand {
+  enum class Kind : std::uint8_t { Activate, Precharge, Read, Write, Refresh };
+  Kind kind = Kind::Activate;
+  unsigned bank = 0;
+  std::uint64_t row = 0;
+  sim::Picos at = 0;          ///< command instant on the command bus
+  sim::Picos data_begin = 0;  ///< Read/Write: data window; Refresh: start
+  sim::Picos data_end = 0;    ///< Read/Write: data window; Refresh: done
+};
+
+using SdramCommandObserver = std::function<void(const SdramCommand&)>;
 
 /// Resolved timing of one burst access.
 struct SdramAccess {
@@ -74,6 +94,13 @@ class SdramDevice {
 
   const SdramTiming& timing() const { return timing_; }
   const SdramGeometry& geometry() const { return geom_; }
+  sim::Picos clkPeriod() const { return clk_period_; }
+
+  /// Report every implied device command (with MPSOC_VERIFY=ON only; the
+  /// emission sites are compiled out otherwise and the observer never fires).
+  void setCommandObserver(SdramCommandObserver obs) {
+    cmd_obs_ = std::move(obs);
+  }
 
   std::uint64_t rowHits() const { return hits_; }
   std::uint64_t rowMisses() const { return misses_; }
@@ -101,6 +128,7 @@ class SdramDevice {
   SdramGeometry geom_;
   sim::Picos clk_period_;
   std::vector<Bank> banks_;
+  SdramCommandObserver cmd_obs_;
   sim::Picos data_bus_free_ = 0;
   sim::Picos next_refresh_ = 0;
   std::uint64_t hits_ = 0;

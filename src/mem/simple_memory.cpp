@@ -2,6 +2,9 @@
 
 #include <memory>
 
+#include "verify/context.hpp"
+#include "verify/port_monitor.hpp"
+
 namespace mpsoc::mem {
 
 using txn::Opcode;
@@ -9,6 +12,14 @@ using txn::Opcode;
 SimpleMemory::SimpleMemory(sim::ClockDomain& clk, std::string name,
                            txn::TargetPort& port, SimpleMemoryConfig cfg)
     : sim::Component(clk, std::move(name)), port_(port), cfg_(cfg) {}
+
+void SimpleMemory::attachMonitors(verify::VerifyContext& ctx) {
+#if MPSOC_VERIFY
+  ctx.add<verify::TargetMonitor>(name_ + ".mon", &clk_, port_);
+#else
+  (void)ctx;
+#endif
+}
 
 void SimpleMemory::evaluate() {
   const sim::Picos now = clk_.simulator().now();

@@ -21,6 +21,10 @@
 #include "sim/component.hpp"
 #include "txn/ports.hpp"
 
+namespace mpsoc::verify {
+class VerifyContext;
+}  // namespace mpsoc::verify
+
 namespace mpsoc::mem {
 
 struct SimpleMemoryConfig {
@@ -44,6 +48,10 @@ class SimpleMemory final : public sim::Component {
   std::uint64_t beatsServed() const { return beats_; }
 
   void setRequestObserver(RequestObserver obs) { observer_ = std::move(obs); }
+
+  /// Attach a TargetMonitor to the memory's port (single service, no
+  /// responses for posted writes, causal beat schedules).
+  void attachMonitors(verify::VerifyContext& ctx);
 
  private:
   txn::TargetPort& port_;

@@ -100,6 +100,13 @@ struct PlatformConfig {
   std::uint32_t agent_burst_override_beats = 0;
   bool include_cpu = true;
 
+  /// Attach the protocol monitors and the transaction-conservation auditor
+  /// (src/verify) to every bus, bridge and memory in the platform.  Any
+  /// protocol violation aborts the run with a ProtocolViolation; leaks are
+  /// reported at the end of the run.  Requires MPSOC_VERIFY=ON to observe
+  /// anything (with it OFF this flag only creates an empty context).
+  bool verify = false;
+
   /// Two-regime workload for the Fig. 6 experiment: phase 1 is an intense
   /// steady regime, phase 2 is burstier with a lower mean.  Quotas become
   /// unbounded; drive the run with Platform::runFor().

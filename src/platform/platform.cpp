@@ -26,6 +26,28 @@ Platform::Platform(PlatformConfig cfg) : cfg_(cfg) {
   buildTraffic();
   if (cfg_.include_cpu) buildCpu();
   if (cfg_.include_dma) buildDma();
+  if (cfg_.verify) {
+    verify_ = std::make_unique<verify::VerifyContext>();
+    attachVerification();
+  }
+}
+
+void Platform::attachVerification() {
+  verify::VerifyContext& ctx = *verify_;
+  central_->attachMonitors(ctx);
+  for (auto& c : clusters_) c.bus->attachMonitors(ctx);
+  if (cpu_node_) cpu_node_->attachMonitors(ctx);
+  if (mem_node_) mem_node_->attachMonitors(ctx);
+  for (auto& b : bridges_) {
+    b->attachMonitors(ctx);
+    b->setAuditor(&ctx.auditor());  // side-B clones are audited transactions
+  }
+  if (onchip_) onchip_->attachMonitors(ctx);
+  if (scratchpad_) scratchpad_->attachMonitors(ctx);
+  if (lmi_) lmi_->attachMonitors(ctx);
+  for (auto& g : iptgs_) g->setAuditor(&ctx.auditor());
+  if (cpu_) cpu_->setAuditor(&ctx.auditor());
+  if (dma_) dma_->setAuditor(&ctx.auditor());
 }
 
 Platform::~Platform() = default;
@@ -306,12 +328,16 @@ void Platform::buildDma() {
 sim::Picos Platform::run(sim::Picos max_ps) {
   const sim::Picos t = sim_.runUntilIdle(max_ps);
   sim_.finish();
+  // Leak audit only when the workload actually finished — a run that hit
+  // max_ps legitimately still has transactions in flight.
+  if (verify_) verify_->finish(allDone());
   return t;
 }
 
 sim::Picos Platform::runFor(sim::Picos duration_ps) {
   const sim::Picos t = sim_.run(sim_.now() + duration_ps);
   sim_.finish();
+  if (verify_) verify_->finish(/*expect_drained=*/false);
   return t;
 }
 

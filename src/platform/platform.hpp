@@ -35,6 +35,7 @@
 #include "sim/simulator.hpp"
 #include "stats/probes.hpp"
 #include "stbus/node.hpp"
+#include "verify/context.hpp"
 
 namespace mpsoc::platform {
 
@@ -88,6 +89,10 @@ class Platform {
   }
   txn::InterconnectBase* centralBus() { return central_.get(); }
 
+  /// The protocol-monitor / conservation-audit registry, or nullptr when the
+  /// platform was built without `cfg.verify`.
+  verify::VerifyContext* verifyContext() { return verify_.get(); }
+
  private:
   struct Cluster {
     std::string name;
@@ -113,9 +118,13 @@ class Platform {
   void buildTraffic();
   void buildCpu();
   void buildDma();
+  /// Walk every bus, bridge, memory and master, attaching monitors and the
+  /// conservation auditor to `verify_`.  Called once, after construction.
+  void attachVerification();
 
   PlatformConfig cfg_;
   sim::Simulator sim_;
+  std::unique_ptr<verify::VerifyContext> verify_;
   sim::ClockDomain* clk_n8_ = nullptr;
   sim::ClockDomain* clk_cpu_ = nullptr;
   std::vector<Cluster> clusters_;

@@ -35,6 +35,10 @@
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
+#ifndef MPSOC_VERIFY
+#define MPSOC_VERIFY 0
+#endif
+
 namespace mpsoc::sim {
 
 namespace detail {
@@ -85,6 +89,9 @@ class SyncFifo final : public Updatable {
     checkPhase("push");
     SIM_CHECK_CTX(canPush(), name_, &clk_,
                   "push() on full FIFO (capacity " << capacity_ << ")");
+#if MPSOC_VERIFY
+    notifyTaps(push_taps_, v);
+#endif
     staged_.push_back(std::move(v));
   }
 
@@ -113,6 +120,9 @@ class SyncFifo final : public Updatable {
     SIM_CHECK_CTX(!empty(), name_, &clk_, "pop() on empty FIFO");
     T v = takeAt(pop_count_);
     ++pop_count_;
+#if MPSOC_VERIFY
+    notifyTaps(pop_taps_, v);
+#endif
     return v;
   }
 
@@ -133,10 +143,23 @@ class SyncFifo final : public Updatable {
     }
     committed_.erase(committed_.begin() + static_cast<std::ptrdiff_t>(idx));
     ++ooo_pops_;
+#if MPSOC_VERIFY
+    notifyTaps(pop_taps_, v);
+#endif
     return v;
   }
 
   void setObserver(Observer obs) { observer_ = std::move(obs); }
+
+#if MPSOC_VERIFY
+  /// Payload observation taps for the src/verify protocol monitors: invoked
+  /// synchronously for every staged push / pop (in-order and out-of-order),
+  /// in program order, skipping the deep-check replay pass.  Compiled out
+  /// entirely when MPSOC_VERIFY=OFF.
+  using Tap = std::function<void(const T&)>;
+  void addPushTap(Tap t) { push_taps_.push_back(std::move(t)); }
+  void addPopTap(Tap t) { pop_taps_.push_back(std::move(t)); }
+#endif
 
   void commit() override {
     SIM_CHECK_CTX(clk_.simulator().phase() == Phase::Commit, name_, &clk_,
@@ -228,6 +251,13 @@ class SyncFifo final : public Updatable {
     T value;
   };
 
+#if MPSOC_VERIFY
+  void notifyTaps(const std::vector<Tap>& taps, const T& v) const {
+    if (taps.empty() || clk_.simulator().inReplay()) return;
+    for (const auto& t : taps) t(v);
+  }
+#endif
+
   ClockDomain& clk_;
   std::string name_;
   std::size_t capacity_;
@@ -237,6 +267,10 @@ class SyncFifo final : public Updatable {
   std::size_t ooo_pops_ = 0;   ///< out-of-order removals staged this edge
   std::vector<OooEntry> ooo_journal_;  ///< deep-check undo log for popAt
   Observer observer_;
+#if MPSOC_VERIFY
+  std::vector<Tap> push_taps_;
+  std::vector<Tap> pop_taps_;
+#endif
 };
 
 /// Clock-domain-crossing FIFO.  Pushes are staged by the producer domain and

@@ -65,9 +65,11 @@ void Simulator::deepCheckEdge(const std::vector<ClockDomain*>& edge_domains,
     }
     // Second pass in reverse order: a well-behaved edge stages the same
     // work regardless of component registration order.
+    in_replay_ = true;
     for (auto it = edge_domains.rbegin(); it != edge_domains.rend(); ++it) {
       (*it)->evaluateComponents(true);
     }
+    in_replay_ = false;
 
     std::size_t i = 0;
     for (ClockDomain* d : edge_domains) {

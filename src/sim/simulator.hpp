@@ -54,6 +54,11 @@ class Simulator {
   void setDeepCheck(bool on) { deep_check_ = on; }
   bool deepCheck() const { return deep_check_; }
 
+  /// True while deep-check re-runs the evaluate phase of the current edge.
+  /// Observation taps (protocol monitors) use this to ignore the replay pass,
+  /// which repeats every FIFO push/pop of the forward pass.
+  bool inReplay() const { return in_replay_; }
+
   /// Advance one edge instant (possibly several coincident domain edges).
   /// Returns false when there are no domains.
   bool step();
@@ -86,6 +91,7 @@ class Simulator {
   Picos now_ps_ = 0;
   Phase phase_ = Phase::Outside;
   bool deep_check_ = false;
+  bool in_replay_ = false;
   bool finished_ = false;
 };
 

@@ -1,6 +1,8 @@
 #include "stbus/node.hpp"
 
 #include "sim/check.hpp"
+#include "verify/context.hpp"
+#include "verify/port_monitor.hpp"
 #include <limits>
 
 namespace mpsoc::stbus {
@@ -13,6 +15,20 @@ StbusNode::StbusNode(sim::ClockDomain& clk, std::string name,
                      StbusNodeConfig cfg)
     : txn::InterconnectBase(clk, std::move(name)), cfg_(cfg) {
   if (cfg_.type == StbusType::T1) cfg_.max_outstanding_per_initiator = 1;
+}
+
+void StbusNode::attachMonitors(verify::VerifyContext& ctx) {
+#if MPSOC_VERIFY
+  verify::InitiatorRules rules;
+  rules.in_order = cfg_.type != StbusType::T3;
+  rules.max_outstanding = cfg_.max_outstanding_per_initiator;
+  for (std::size_t i = 0; i < initiators_.size(); ++i) {
+    ctx.add<verify::InitiatorMonitor>(name_ + ".mon.i" + std::to_string(i),
+                                      &clk_, *initiators_[i], rules);
+  }
+#else
+  (void)ctx;
+#endif
 }
 
 void StbusNode::finalize() {

@@ -72,6 +72,10 @@ class StbusNode final : public txn::InterconnectBase {
   /// Call once all ports are registered (builds per-channel engines).
   void finalize();
 
+  /// One InitiatorMonitor per initiator port: in-order delivery for T1/T2,
+  /// out-of-order allowed for T3, per-initiator outstanding cap from config.
+  void attachMonitors(verify::VerifyContext& ctx) override;
+
  private:
   struct ReqEngine {
     txn::RequestPtr streaming;

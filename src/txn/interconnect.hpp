@@ -16,6 +16,10 @@
 #include "txn/ports.hpp"
 #include "txn/transaction.hpp"
 
+namespace mpsoc::verify {
+class VerifyContext;
+}  // namespace mpsoc::verify
+
 namespace mpsoc::txn {
 
 class InterconnectBase : public sim::Component {
@@ -52,6 +56,12 @@ class InterconnectBase : public sim::Component {
 
   /// Total number of requests accepted from initiators.
   std::uint64_t grantsIssued() const { return grants_; }
+
+  /// Attach protocol monitors for this engine's initiator-side ports (each
+  /// engine knows its own ordering/outstanding rules).  Call after every
+  /// addInitiator()/addTarget().  Overridden by each protocol engine; bodies
+  /// are empty with MPSOC_VERIFY=OFF.
+  virtual void attachMonitors(verify::VerifyContext& ctx) { (void)ctx; }
 
  protected:
   /// One in-flight (accepted, response pending) transaction.

@@ -1,6 +1,7 @@
 #include "txn/master.hpp"
 
 #include "sim/check.hpp"
+#include "txn/audit.hpp"
 
 namespace mpsoc::txn {
 
@@ -32,6 +33,9 @@ void MasterBase::issue(const RequestPtr& req) {
   } else {
     ++retired_;  // posted writes retire at issue
   }
+#if MPSOC_VERIFY
+  if (auditor_) auditor_->onIssue(clk_, *req, fire_and_forget);
+#endif
   port_.req.push(req);
 }
 
@@ -42,6 +46,9 @@ void MasterBase::collectResponses() {
                   "response arrived with no outstanding transaction");
     --outstanding_;
     ++retired_;
+#if MPSOC_VERIFY
+    if (auditor_) auditor_->onRetire(clk_, *rsp);
+#endif
     rsp->req->completed_ps = clk_.simulator().now();
     latency_.record(rsp->req->created_ps, rsp->req->completed_ps);
     onResponse(rsp);

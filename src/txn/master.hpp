@@ -18,6 +18,8 @@
 
 namespace mpsoc::txn {
 
+class TxnAuditor;
+
 class MasterBase : public sim::Component {
  public:
   MasterBase(sim::ClockDomain& clk, std::string name, InitiatorPort& port,
@@ -44,6 +46,11 @@ class MasterBase : public sim::Component {
   std::uint64_t bytesWritten() const { return bytes_written_; }
   const stats::LatencyProbe& latency() const { return latency_; }
 
+  /// Report every issue/retire to a transaction-conservation auditor
+  /// (src/txn/audit.hpp).  The hooks compile out with MPSOC_VERIFY=OFF;
+  /// setting an auditor then has no effect.
+  void setAuditor(TxnAuditor* auditor) { auditor_ = auditor; }
+
  protected:
   /// Hook for subclasses (e.g. unblocking a stalled CPU, advancing an agent).
   virtual void onResponse(const ResponsePtr& rsp) { (void)rsp; }
@@ -52,6 +59,7 @@ class MasterBase : public sim::Component {
 
  private:
   unsigned max_outstanding_;
+  TxnAuditor* auditor_ = nullptr;
   unsigned outstanding_ = 0;
   std::uint64_t issued_ = 0;
   std::uint64_t retired_ = 0;

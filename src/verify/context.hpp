@@ -1,0 +1,65 @@
+#pragma once
+// VerifyContext: the per-platform registry that owns every attached protocol
+// monitor plus the transaction-conservation auditor.
+//
+// A platform (or rig) that opts into verification creates one VerifyContext,
+// walks its components calling attachMonitors(ctx) / setAuditor(), and calls
+// finish() at the end of the run.  Monitors raise ProtocolViolation the
+// instant a rule is broken; finish() performs the teardown audits (stuck
+// transactions in monitors, leaks in the auditor).
+//
+// With MPSOC_VERIFY=OFF the class still exists (so platform code needs no
+// #ifdefs) but can hold no monitors and every hook that would feed it has
+// been compiled out — finish() is then a no-op over empty state.
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "txn/audit.hpp"
+#include "verify/monitor.hpp"
+
+namespace mpsoc::verify {
+
+class VerifyContext {
+ public:
+  VerifyContext();
+  ~VerifyContext();
+
+  VerifyContext(const VerifyContext&) = delete;
+  VerifyContext& operator=(const VerifyContext&) = delete;
+
+#if MPSOC_VERIFY
+  /// Construct a monitor in place; the context owns it.  Returns a reference
+  /// so callers can wire observers (e.g. the SDRAM command observer).
+  template <class M, class... Args>
+  M& add(Args&&... args) {
+    auto m = std::make_unique<M>(std::forward<Args>(args)...);
+    M& ref = *m;
+    monitors_.push_back(std::move(m));
+    return ref;
+  }
+#endif
+
+  /// Conservation auditor masters report issue/retire to.
+  txn::TxnAuditor& auditor() { return auditor_; }
+  const txn::TxnAuditor& auditor() const { return auditor_; }
+
+  std::size_t monitorCount() const { return monitors_.size(); }
+
+  /// Total port/command events checked across all monitors.  Clean-run tests
+  /// assert this is non-zero to prove the monitors actually observed traffic.
+  std::uint64_t eventsObserved() const;
+
+  /// Teardown audit: every monitor's finish() plus the conservation audit.
+  /// `expect_drained` = the workload ran to completion, so anything still in
+  /// flight is a leak; pass false after bounded (runFor-style) runs.
+  void finish(bool expect_drained) const;
+
+ private:
+  std::vector<std::unique_ptr<Monitor>> monitors_;
+  txn::TxnAuditor auditor_;
+};
+
+}  // namespace mpsoc::verify

@@ -1,0 +1,17 @@
+#include "verify/monitor.hpp"
+
+#include <iostream>
+#include <utility>
+
+namespace mpsoc::verify {
+
+void Monitor::fail(const char* file, int line,
+                   const std::string& detail) const {
+  ProtocolViolation ex(sim::checkContext(file, line, name_, clk_), detail);
+#ifndef NDEBUG
+  std::cerr << ex.what() << std::endl;
+#endif
+  throw ex;
+}
+
+}  // namespace mpsoc::verify

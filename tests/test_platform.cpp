@@ -23,6 +23,10 @@ PlatformConfig smallConfig(Protocol p, Topology t, MemoryKind m) {
   cfg.topology = t;
   cfg.memory = m;
   cfg.workload_scale = 0.1;  // keep unit tests fast
+  // Every platform test runs fully monitored: protocol monitors on all
+  // buses/bridges/memories plus the conservation auditor (zero-false-positive
+  // property across the whole matrix).
+  cfg.verify = true;
   return cfg;
 }
 

@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
 # One-command analysis stack for mpsocsim:
-#   1. build + run mpsoc_lint over src/ tests/ tools/
+#   1. build (ASan+UBSan, MPSOC_VERIFY=ON) + run mpsoc_lint over src/ tests/
+#      tools/
 #   2. full ctest pass under AddressSanitizer + UndefinedBehaviorSanitizer
-#   3. clang-format --dry-run over src/ tests/ tools/ (skipped with a notice
+#      (includes the monitored platform smoke runs and the protocol-monitor
+#      negative tests)
+#   3. monitored scenario sweep: every shipped scenario under
+#      mpsoc_run --verify (protocol monitors + conservation audit)
+#   4. clang-format --dry-run over src/ tests/ tools/ (skipped with a notice
 #      when clang-format is not installed)
 #
 # Usage: tools/check.sh [build-dir]     (default: build-check)
-# Exit status is non-zero if any stage fails.
+# Exit status is non-zero if any stage fails; all stages run so one pass
+# reports every failure.
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -16,9 +22,9 @@ FAILED=0
 
 stage() { printf '\n=== %s ===\n' "$*"; }
 
-stage "configure (ASan+UBSan)"
+stage "configure (ASan+UBSan, MPSOC_VERIFY=ON)"
 cmake -B "$BUILD" -S "$ROOT" -DMPSOC_SANITIZE="address;undefined" \
-      -DCMAKE_BUILD_TYPE=RelWithDebInfo || exit 1
+      -DMPSOC_VERIFY=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo || exit 1
 
 stage "build"
 cmake --build "$BUILD" -j "$JOBS" || exit 1
@@ -33,6 +39,11 @@ stage "ctest under ASan+UBSan"
 if ! (cd "$BUILD" && \
       ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
       ctest --output-on-failure -j "$JOBS"); then
+  FAILED=1
+fi
+
+stage "monitored scenario sweep (mpsoc_run --verify)"
+if ! "$BUILD/tools/mpsoc_run" --verify "$ROOT"/tools/scenarios/*.scn; then
   FAILED=1
 fi
 

@@ -20,6 +20,15 @@
 //                       bypasses the kernel's commit phase and breaks the
 //                       registered-state timeline (also rejected at runtime
 //                       by the Phase guard, but cheaper to catch here).
+//   monitor-registration a protocol-engine file (src/{stbus,ahb,axi,bridge,
+//                       mem}) declaring a Component / InterconnectBase /
+//                       MasterBase subclass must also declare or define
+//                       attachMonitors() — every bus, bridge and memory must
+//                       be coverable by the src/verify protocol monitors.
+//   raw-txn-fifo        declaring a SyncFifo<RequestPtr|ResponsePtr> outside
+//                       txn/ports.hpp creates a transaction channel the
+//                       monitors cannot see; transactions must travel through
+//                       InitiatorPort/TargetPort bundles.
 //
 // Usage: mpsoc_lint <dir-or-file>...   (exit 1 when any finding is reported)
 // Suppress a finding with a trailing comment:  // mpsoc-lint: allow(<rule>)
@@ -119,7 +128,18 @@ bool suppressed(const std::string& comment, const std::string& rule) {
 class FileLinter {
  public:
   FileLinter(std::string path, bool kernel_code)
-      : path_(std::move(path)), kernel_code_(kernel_code) {}
+      : path_(std::move(path)), kernel_code_(kernel_code) {
+    // The monitor-registration rule covers the protocol-engine subsystems
+    // that src/verify knows how to monitor.
+    for (const char* dir :
+         {"src/stbus", "src/ahb", "src/axi", "src/bridge", "src/mem"}) {
+      if (path_.find(dir) != std::string::npos) protocol_file_ = true;
+    }
+    const std::string ports = "txn/ports.hpp";
+    is_ports_header_ = path_.size() >= ports.size() &&
+                       path_.compare(path_.size() - ports.size(),
+                                     ports.size(), ports) == 0;
+  }
 
   std::vector<Finding> run() {
     std::ifstream ifs(path_);
@@ -132,7 +152,18 @@ class FileLinter {
       const std::string code = stripLine(raw, in_block, comment);
       collectUnorderedDecls(code);
       trackEvaluateBody(code);
+      if (code.find("attachMonitors") != std::string::npos) {
+        has_attach_monitors_ = true;
+      }
       checkLine(code, comment, lineno);
+    }
+    if (first_component_line_ != 0 && !has_attach_monitors_ &&
+        !monitor_rule_suppressed_) {
+      report(first_component_line_, "monitor-registration",
+             "'" + first_component_name_ +
+                 "' is a protocol-subsystem component but this file neither "
+                 "declares nor defines attachMonitors(); wire it to the "
+                 "src/verify monitors (or suppress on the class declaration)");
     }
     return std::move(findings_);
   }
@@ -240,6 +271,35 @@ class FileLinter {
       }
     }
 
+    // monitor-registration: remember the first monitored-subsystem component
+    // class declared in this file; the verdict is issued at end of file.
+    if (protocol_file_) {
+      static const std::regex comp_decl(
+          R"(class\s+((?:\w+::)*\w+)(?:\s+final)?\s*:\s*public\s+(?:mpsoc::)?(?:sim::Component|txn::InterconnectBase|txn::MasterBase)\b)");
+      std::smatch m;
+      if (std::regex_search(code, m, comp_decl) &&
+          first_component_line_ == 0) {
+        if (suppressed(comment, "monitor-registration")) {
+          monitor_rule_suppressed_ = true;
+        }
+        first_component_line_ = lineno;
+        first_component_name_ = m[1].str();
+      }
+    }
+
+    // raw-txn-fifo: transaction FIFOs outside the monitored port bundles.
+    if (kernel_code_ && !is_ports_header_ &&
+        !suppressed(comment, "raw-txn-fifo")) {
+      static const std::regex raw_fifo(
+          R"(\bSyncFifo\s*<\s*(?:txn::)?(?:RequestPtr|ResponsePtr)\s*>)");
+      if (std::regex_search(code, raw_fifo)) {
+        report(lineno, "raw-txn-fifo",
+               "transaction FIFOs must live inside txn::InitiatorPort / "
+               "txn::TargetPort so protocol monitors can tap them; do not "
+               "declare a bare SyncFifo of RequestPtr/ResponsePtr");
+      }
+    }
+
     // commit-in-evaluate: explicit commit() calls inside evaluate() bodies.
     if (evaluate_depth_ > 0 && !suppressed(comment, "commit-in-evaluate")) {
       static const std::regex commit_call(R"((?:\.|->)commit\s*\(\s*\))");
@@ -253,6 +313,12 @@ class FileLinter {
 
   std::string path_;
   bool kernel_code_;
+  bool protocol_file_ = false;
+  bool is_ports_header_ = false;
+  bool has_attach_monitors_ = false;
+  bool monitor_rule_suppressed_ = false;
+  std::size_t first_component_line_ = 0;
+  std::string first_component_name_;
   std::vector<Finding> findings_;
   std::set<std::string> unordered_names_;
   bool in_evaluate_ = false;

@@ -5,6 +5,9 @@
 //   --csv          print a machine-readable CSV block after the table
 //   --json         print the results as JSON
 //   --normalize N  normalise execution times to scenario index N (default 0)
+//   --verify       attach the protocol monitors and transaction auditor
+//                  (src/verify) to every platform; a violation aborts with
+//                  exit code 1
 //
 // Each scenario file describes one platform instance (see
 // platform/scenario_parser.hpp for the format; tools/scenarios/ ships the
@@ -18,6 +21,7 @@
 #include "core/experiment.hpp"
 #include "core/export.hpp"
 #include "platform/scenario_parser.hpp"
+#include "sim/check.hpp"
 #include "stats/report.hpp"
 
 using namespace mpsoc;
@@ -25,7 +29,7 @@ using namespace mpsoc;
 namespace {
 
 void usage() {
-  std::cerr << "usage: mpsoc_run [--csv] [--json] [--normalize N] "
+  std::cerr << "usage: mpsoc_run [--csv] [--json] [--normalize N] [--verify] "
                "scenario.scn [...]\n";
 }
 
@@ -34,6 +38,7 @@ void usage() {
 int main(int argc, char** argv) {
   bool want_csv = false;
   bool want_json = false;
+  bool want_verify = false;
   std::size_t normalize_to = 0;
   std::vector<std::string> files;
 
@@ -42,6 +47,8 @@ int main(int argc, char** argv) {
       want_csv = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       want_json = true;
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      want_verify = true;
     } else if (std::strcmp(argv[i], "--normalize") == 0 && i + 1 < argc) {
       normalize_to = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (argv[i][0] == '-') {
@@ -65,8 +72,15 @@ int main(int argc, char** argv) {
       std::cerr << "error: " << e.what() << "\n";
       return 1;
     }
+    if (want_verify) sc.config.verify = true;
     std::cerr << "running " << sc.name << " (" << path << ")...\n";
-    results.push_back(core::runScenario(sc.config, sc.name));
+    try {
+      results.push_back(core::runScenario(sc.config, sc.name));
+    } catch (const sim::InvariantViolation& e) {
+      std::cerr << "verification failure in " << sc.name << ":\n"
+                << e.what() << "\n";
+      return 1;
+    }
   }
 
   if (normalize_to >= results.size()) normalize_to = 0;
