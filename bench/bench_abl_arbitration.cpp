@@ -20,7 +20,12 @@ using namespace mpsoc;
 
 namespace {
 
-void platformView() {
+const std::vector<txn::ArbPolicy> kPolicies = {
+    txn::ArbPolicy::FixedPriority, txn::ArbPolicy::RoundRobin,
+    txn::ArbPolicy::LeastRecentlyUsed, txn::ArbPolicy::Tdma,
+    txn::ArbPolicy::Lottery};
+
+void platformView(benchx::BenchOptions& opts) {
   using platform::MemoryKind;
   using platform::PlatformConfig;
   using platform::Protocol;
@@ -28,33 +33,38 @@ void platformView() {
 
   stats::TextTable t("Abl. E: arbitration policy, full STBus platform + LMI");
   t.setHeader({"policy", "exec (us)", "mean read lat (ns)", "BW (MB/s)"});
-  for (auto pol : {txn::ArbPolicy::FixedPriority, txn::ArbPolicy::RoundRobin,
-                   txn::ArbPolicy::LeastRecentlyUsed, txn::ArbPolicy::Tdma,
-                   txn::ArbPolicy::Lottery}) {
+  std::vector<core::SweepPoint> points;
+  for (auto pol : kPolicies) {
     PlatformConfig cfg;
     cfg.protocol = Protocol::Stbus;
     cfg.topology = Topology::Full;
     cfg.memory = MemoryKind::Lmi;
     cfg.arbitration = pol;
     cfg.workload_scale = 0.5;
-    auto r = core::runScenario(cfg, txn::toString(pol));
+    points.push_back({txn::toString(pol), cfg, 0});
+  }
+  const auto rs = benchx::runSweep(points, opts);
+  for (const auto& r : rs) {
     t.addRow({r.label, stats::fmt(static_cast<double>(r.exec_ps) / 1e6, 2),
               stats::fmt(r.mean_read_latency_ns, 1),
               stats::fmt(r.bandwidth_mb_s, 1)});
   }
-  t.print(std::cout);
-  std::cout << "\n";
+  t.print(opts.out());
+  opts.out() << "\n";
 }
 
-void fairnessView() {
+void fairnessView(benchx::BenchOptions& opts) {
   stats::TextTable t(
       "Abl. E (cont.): per-master latency under saturation, many-to-one");
   t.setHeader({"policy", "fastest master (ns)", "slowest master (ns)",
                "spread (max/min)"});
 
-  for (auto pol : {txn::ArbPolicy::FixedPriority, txn::ArbPolicy::RoundRobin,
-                   txn::ArbPolicy::LeastRecentlyUsed, txn::ArbPolicy::Tdma,
-                   txn::ArbPolicy::Lottery}) {
+  struct Spread {
+    double lo = 0.0, hi = 0.0;
+  };
+  std::vector<Spread> spreads(kPolicies.size());
+  core::parallelFor(kPolicies.size(), opts.jobs(), [&](std::size_t pi) {
+    const auto pol = kPolicies[pi];
     sim::Simulator sim;
     auto& clk = sim.addClockDomain("bus", 200.0);
     stbus::StbusNodeConfig nc;
@@ -95,22 +105,28 @@ void fairnessView() {
       lo = std::min(lo, m);
       hi = std::max(hi, m);
     }
-    t.addRow({txn::toString(pol), stats::fmt(lo, 0), stats::fmt(hi, 0),
-              stats::fmt(hi / lo, 2)});
+    spreads[pi] = {lo, hi};
+  });
+
+  for (std::size_t pi = 0; pi < kPolicies.size(); ++pi) {
+    const auto& s = spreads[pi];
+    t.addRow({txn::toString(kPolicies[pi]), stats::fmt(s.lo, 0),
+              stats::fmt(s.hi, 0), stats::fmt(s.hi / s.lo, 2)});
   }
-  t.print(std::cout);
-  std::cout << "\nExpected: fixed priority gives the widest spread (the "
-               "low-priority master\nstarves under contention); LRU and "
-               "round-robin equalise; TDMA sits between;\nlottery tracks its "
-               "ticket weights.  Total throughput barely moves — with a\n"
-               "centralized bottleneck, arbitration redistributes latency "
-               "(guideline 4,\nand [13] in the paper's related work).\n";
+  t.print(opts.out());
+  opts.out() << "\nExpected: fixed priority gives the widest spread (the "
+                "low-priority master\nstarves under contention); LRU and "
+                "round-robin equalise; TDMA sits between;\nlottery tracks its "
+                "ticket weights.  Total throughput barely moves — with a\n"
+                "centralized bottleneck, arbitration redistributes latency "
+                "(guideline 4,\nand [13] in the paper's related work).\n";
 }
 
 }  // namespace
 
-int main() {
-  platformView();
-  fairnessView();
+int main(int argc, char** argv) {
+  auto opts = benchx::BenchOptions::parse(argc, argv);
+  platformView(opts);
+  fairnessView(opts);
   return 0;
 }

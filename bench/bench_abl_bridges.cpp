@@ -14,35 +14,34 @@
 
 using namespace mpsoc;
 
-int main() {
+int main(int argc, char** argv) {
   using platform::MemoryKind;
   using platform::PlatformConfig;
   using platform::Protocol;
   using platform::Topology;
 
-  std::vector<core::ScenarioResult> rs;
+  auto opts = benchx::BenchOptions::parse(argc, argv);
 
   PlatformConfig base;
   base.protocol = Protocol::Stbus;
   base.topology = Topology::Full;
   base.memory = MemoryKind::Lmi;
 
-  {
-    PlatformConfig cfg = base;
-    rs.push_back(core::runScenario(cfg, "GenConv bridges (split, deep)"));
-  }
-  {
-    PlatformConfig cfg = base;
-    cfg.force_lightweight_bridges = true;
-    rs.push_back(core::runScenario(cfg, "lightweight bridges (blocking)"));
-  }
+  PlatformConfig lightweight = base;
+  lightweight.force_lightweight_bridges = true;
+
+  const auto rs = benchx::runSweep(
+      {{"GenConv bridges (split, deep)", base, 0},
+       {"lightweight bridges (blocking)", lightweight, 0}},
+      opts);
 
   benchx::printScenarioTable(
+      opts.out(),
       "Abl. B: bridge functionality on the full STBus platform (LMI memory)",
       rs, 0);
 
-  std::cout << "Expected: identical platform, bridges only — the blocking "
-               "lightweight bridges\nforfeit most of the distributed "
-               "platform's performance (guidelines 3(ii) and 5).\n";
+  opts.out() << "Expected: identical platform, bridges only — the blocking "
+                "lightweight bridges\nforfeit most of the distributed "
+                "platform's performance (guidelines 3(ii) and 5).\n";
   return 0;
 }

@@ -12,41 +12,54 @@
 
 using namespace mpsoc;
 
-int main() {
+int main(int argc, char** argv) {
+  auto opts = benchx::BenchOptions::parse(argc, argv);
+
   stats::TextTable t("Abl. A: target FIFO depth vs memory wait states (STBus)");
   t.setHeader({"pattern", "wait states", "depth 1", "depth 2", "depth 4",
                "depth 8", "speedup 1->8"});
 
-  for (bool many_to_many : {false, true}) {
-    for (unsigned ws : {1u, 3u, 8u}) {
-      std::vector<double> execs;
-      for (std::size_t depth : {1u, 2u, 4u, 8u}) {
-        core::SingleLayerConfig c;
-        c.protocol = core::RigProtocol::Stbus;
-        c.masters = 6;
-        c.memories = many_to_many ? 4 : 1;
-        c.wait_states = ws;
-        c.target_fifo_depth = depth;
-        c.bursts = {{8, 1.0}};
-        c.outstanding = 4;
-        c.txns_per_master = 300;
-        c.spray_over_all_memories = many_to_many;
-        core::SingleLayerRig rig(c);
-        execs.push_back(static_cast<double>(rig.run()));
-      }
-      t.addRow({many_to_many ? "many-to-many" : "many-to-one",
-                std::to_string(ws), stats::fmt(execs[0] / 1e6, 1),
-                stats::fmt(execs[1] / 1e6, 1), stats::fmt(execs[2] / 1e6, 1),
-                stats::fmt(execs[3] / 1e6, 1),
-                stats::fmt(execs[0] / execs[3], 3)});
-    }
+  const std::vector<unsigned> wait_states = {1u, 3u, 8u};
+  const std::vector<std::size_t> depths = {1u, 2u, 4u, 8u};
+
+  // Row-major grid: (pattern, wait states, depth) — 2 x 3 x 4 independent
+  // rigs, one slot each.
+  const std::size_t n_rows = 2 * wait_states.size();
+  std::vector<double> execs(n_rows * depths.size(), 0.0);
+  core::parallelFor(execs.size(), opts.jobs(), [&](std::size_t i) {
+    const std::size_t row = i / depths.size();
+    const bool many_to_many = row >= wait_states.size();
+    const unsigned ws = wait_states[row % wait_states.size()];
+    core::SingleLayerConfig c;
+    c.protocol = core::RigProtocol::Stbus;
+    c.masters = 6;
+    c.memories = many_to_many ? 4 : 1;
+    c.wait_states = ws;
+    c.target_fifo_depth = depths[i % depths.size()];
+    c.bursts = {{8, 1.0}};
+    c.outstanding = 4;
+    c.txns_per_master = 300;
+    c.spray_over_all_memories = many_to_many;
+    core::SingleLayerRig rig(c);
+    execs[i] = static_cast<double>(rig.run());
+  });
+
+  for (std::size_t row = 0; row < n_rows; ++row) {
+    const bool many_to_many = row >= wait_states.size();
+    const unsigned ws = wait_states[row % wait_states.size()];
+    const double* e = &execs[row * depths.size()];
+    t.addRow({many_to_many ? "many-to-many" : "many-to-one",
+              std::to_string(ws), stats::fmt(e[0] / 1e6, 1),
+              stats::fmt(e[1] / 1e6, 1), stats::fmt(e[2] / 1e6, 1),
+              stats::fmt(e[3] / 1e6, 1), stats::fmt(e[0] / e[3], 3)});
   }
-  t.print(std::cout);
-  std::cout << "\nExpected: deeper buffering pays off most for the slowest "
-               "memories;\nin many-to-one the single serial memory caps the "
-               "benefit (guideline 2),\nin many-to-many buffering lets "
-               "parallel flows overlap wait states.\n";
-  std::cout << "\ncsv:\n";
-  t.printCsv(std::cout);
+  std::ostream& os = opts.out();
+  t.print(os);
+  os << "\nExpected: deeper buffering pays off most for the slowest "
+        "memories;\nin many-to-one the single serial memory caps the "
+        "benefit (guideline 2),\nin many-to-many buffering lets "
+        "parallel flows overlap wait states.\n";
+  os << "\ncsv:\n";
+  t.printCsv(os);
   return 0;
 }

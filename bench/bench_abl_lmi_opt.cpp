@@ -10,16 +10,24 @@
 
 using namespace mpsoc;
 
-int main() {
+int main(int argc, char** argv) {
   using platform::MemoryKind;
   using platform::PlatformConfig;
   using platform::Protocol;
   using platform::Topology;
 
+  auto opts = benchx::BenchOptions::parse(argc, argv);
+
   stats::TextTable t("Abl. C: LMI lookahead depth x opcode merging");
   t.setHeader({"lookahead", "merging", "exec (us)", "row-hit rate",
                "merge ratio", "bandwidth (MB/s)"});
 
+  struct Cell {
+    unsigned la;
+    bool merge;
+  };
+  std::vector<Cell> cells;
+  std::vector<core::SweepPoint> points;
   for (unsigned la : {1u, 2u, 4u, 8u}) {
     for (bool merge : {false, true}) {
       PlatformConfig cfg;
@@ -28,20 +36,29 @@ int main() {
       cfg.memory = MemoryKind::Lmi;
       cfg.lmi.lookahead = la;
       cfg.lmi.opcode_merging = merge;
-      auto r = core::runScenario(cfg, "la" + std::to_string(la));
-      t.addRow({std::to_string(la), merge ? "on" : "off",
-                stats::fmt(static_cast<double>(r.exec_ps) / 1e6, 2),
-                stats::fmt(r.lmi_row_hit_rate, 3),
-                stats::fmt(r.lmi_merge_ratio, 3),
-                stats::fmt(r.bandwidth_mb_s, 1)});
+      cells.push_back({la, merge});
+      points.push_back({"la" + std::to_string(la) +
+                            (merge ? "-merge" : "-nomerge"),
+                        cfg, 0});
     }
   }
-  t.print(std::cout);
-  std::cout << "\nExpected: lookahead raises the row-hit rate, merging fuses "
-               "contiguous message\ntrains; both shorten execution — the "
-               "memory-controller optimisations the paper's\nsplit-capable "
-               "interconnects exist to feed (guidelines 2/4).\n";
-  std::cout << "\ncsv:\n";
-  t.printCsv(std::cout);
+
+  const auto rs = benchx::runSweep(points, opts);
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const auto& r = rs[i];
+    t.addRow({std::to_string(cells[i].la), cells[i].merge ? "on" : "off",
+              stats::fmt(static_cast<double>(r.exec_ps) / 1e6, 2),
+              stats::fmt(r.lmi_row_hit_rate, 3),
+              stats::fmt(r.lmi_merge_ratio, 3),
+              stats::fmt(r.bandwidth_mb_s, 1)});
+  }
+  std::ostream& os = opts.out();
+  t.print(os);
+  os << "\nExpected: lookahead raises the row-hit rate, merging fuses "
+        "contiguous message\ntrains; both shorten execution — the "
+        "memory-controller optimisations the paper's\nsplit-capable "
+        "interconnects exist to feed (guidelines 2/4).\n";
+  os << "\ncsv:\n";
+  t.printCsv(os);
   return 0;
 }

@@ -15,11 +15,13 @@
 
 using namespace mpsoc;
 
-int main() {
+int main(int argc, char** argv) {
   using platform::MemoryKind;
   using platform::PlatformConfig;
   using platform::Protocol;
   using platform::Topology;
+
+  auto opts = benchx::BenchOptions::parse(argc, argv);
 
   stats::TextTable t(
       "Abl. D: message vs packet arbitration x controller lookahead "
@@ -27,6 +29,12 @@ int main() {
   t.setHeader({"arbitration", "LMI lookahead", "exec (us)", "row-hit rate",
                "merge ratio", "bandwidth (MB/s)"});
 
+  struct Cell {
+    unsigned la;
+    bool messages;
+  };
+  std::vector<Cell> cells;
+  std::vector<core::SweepPoint> points;
   for (unsigned la : {1u, 4u}) {
     for (bool messages : {true, false}) {
       PlatformConfig cfg;
@@ -35,24 +43,33 @@ int main() {
       cfg.memory = MemoryKind::Lmi;
       cfg.message_arbitration = messages;
       cfg.lmi.lookahead = la;
-      auto r = core::runScenario(cfg, messages ? "message" : "packet");
-      t.addRow({messages ? "message-based" : "packet-based",
-                std::to_string(la),
-                stats::fmt(static_cast<double>(r.exec_ps) / 1e6, 2),
-                stats::fmt(r.lmi_row_hit_rate, 3),
-                stats::fmt(r.lmi_merge_ratio, 3),
-                stats::fmt(r.bandwidth_mb_s, 1)});
+      cells.push_back({la, messages});
+      points.push_back({std::string(messages ? "message" : "packet") + "-la" +
+                            std::to_string(la),
+                        cfg, 0});
     }
   }
-  t.print(std::cout);
-  std::cout << "\nExpected: messaging keeps each IP's sequential trains "
-               "contiguous at the\ncontroller, which matters most when the "
-               "controller itself is simple (shallow\nlookahead): friendly "
-               "traffic substitutes for controller complexity.  A deep\n"
-               "lookahead engine can reconstruct locality on its own, so the "
-               "gap narrows —\nexactly the complementarity Section 3 "
-               "describes.\n";
-  std::cout << "\ncsv:\n";
-  t.printCsv(std::cout);
+
+  const auto rs = benchx::runSweep(points, opts);
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    const auto& r = rs[i];
+    t.addRow({cells[i].messages ? "message-based" : "packet-based",
+              std::to_string(cells[i].la),
+              stats::fmt(static_cast<double>(r.exec_ps) / 1e6, 2),
+              stats::fmt(r.lmi_row_hit_rate, 3),
+              stats::fmt(r.lmi_merge_ratio, 3),
+              stats::fmt(r.bandwidth_mb_s, 1)});
+  }
+  std::ostream& os = opts.out();
+  t.print(os);
+  os << "\nExpected: messaging keeps each IP's sequential trains "
+        "contiguous at the\ncontroller, which matters most when the "
+        "controller itself is simple (shallow\nlookahead): friendly "
+        "traffic substitutes for controller complexity.  A deep\n"
+        "lookahead engine can reconstruct locality on its own, so the "
+        "gap narrows —\nexactly the complementarity Section 3 "
+        "describes.\n";
+  os << "\ncsv:\n";
+  t.printCsv(os);
   return 0;
 }

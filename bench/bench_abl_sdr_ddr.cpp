@@ -12,18 +12,21 @@
 
 using namespace mpsoc;
 
-int main() {
+int main(int argc, char** argv) {
   using platform::MemoryKind;
   using platform::PlatformConfig;
   using platform::Protocol;
   using platform::Topology;
 
+  auto opts = benchx::BenchOptions::parse(argc, argv);
+
   stats::TextTable t("Abl. F: SDR vs DDR data rate x device speed grade");
   t.setHeader({"device", "divider", "exec (us)", "BW (MB/s)", "row-hit",
                "speedup vs SDR"});
 
-  for (unsigned div : {2u, 3u}) {
-    double sdr_exec = 0;
+  const std::vector<unsigned> dividers = {2u, 3u};
+  std::vector<core::SweepPoint> points;
+  for (unsigned div : dividers) {
     for (bool ddr : {false, true}) {
       PlatformConfig cfg;
       cfg.protocol = Protocol::Stbus;
@@ -31,9 +34,17 @@ int main() {
       cfg.memory = MemoryKind::Lmi;
       cfg.lmi.clock_divider = div;
       cfg.lmi.timing.ddr = ddr;
-      auto r = core::runScenario(cfg, ddr ? "DDR" : "SDR");
-      if (!ddr) sdr_exec = static_cast<double>(r.exec_ps);
-      t.addRow({r.label, std::to_string(div),
+      points.push_back({ddr ? "DDR" : "SDR", cfg, 0});
+    }
+  }
+
+  const auto rs = benchx::runSweep(points, opts);
+  for (std::size_t i = 0; i < dividers.size(); ++i) {
+    const double sdr_exec = static_cast<double>(rs[2 * i].exec_ps);
+    for (std::size_t k = 0; k < 2; ++k) {
+      const auto& r = rs[2 * i + k];
+      const bool ddr = k == 1;
+      t.addRow({r.label, std::to_string(dividers[i]),
                 stats::fmt(static_cast<double>(r.exec_ps) / 1e6, 2),
                 stats::fmt(r.bandwidth_mb_s, 1),
                 stats::fmt(r.lmi_row_hit_rate, 3),
@@ -41,12 +52,13 @@ int main() {
                     : std::string("1.00")});
     }
   }
-  t.print(std::cout);
-  std::cout << "\nExpected: DDR approaches (but does not reach) 2x — command "
-               "and refresh\noverheads do not scale with the data rate, and "
-               "the slower the device clock,\nthe more the data phase "
-               "dominates and the closer DDR gets to its ideal.\n";
-  std::cout << "\ncsv:\n";
-  t.printCsv(std::cout);
+  std::ostream& os = opts.out();
+  t.print(os);
+  os << "\nExpected: DDR approaches (but does not reach) 2x — command "
+        "and refresh\noverheads do not scale with the data rate, and "
+        "the slower the device clock,\nthe more the data phase "
+        "dominates and the closer DDR gets to its ideal.\n";
+  os << "\ncsv:\n";
+  t.printCsv(os);
   return 0;
 }

@@ -14,35 +14,37 @@
 
 using namespace mpsoc;
 
-int main() {
+int main(int argc, char** argv) {
   using platform::MemoryKind;
   using platform::PlatformConfig;
   using platform::Protocol;
   using platform::Topology;
+
+  auto opts = benchx::BenchOptions::parse(argc, argv);
 
   PlatformConfig base;
   base.memory = MemoryKind::OnChip;
   base.onchip_wait_states = 1;
   base.workload_scale = 1.0;
 
-  std::vector<core::ScenarioResult> rs;
-
-  auto run = [&](Protocol p, Topology t, const std::string& label) {
+  std::vector<core::SweepPoint> points;
+  auto add = [&](Protocol p, Topology t, const std::string& label) {
     PlatformConfig cfg = base;
     cfg.protocol = p;
     cfg.topology = t;
-    rs.push_back(core::runScenario(cfg, label));
+    points.push_back({label, cfg, 0});
   };
 
-  run(Protocol::Axi, Topology::Collapsed, "collapsed AXI");
-  run(Protocol::Stbus, Topology::Collapsed, "collapsed STBus");
-  run(Protocol::Stbus, Topology::SingleLayer, "single-layer STBus");
-  run(Protocol::Stbus, Topology::Full, "full STBus");
-  run(Protocol::Ahb, Topology::Full, "full AHB");
-  run(Protocol::Axi, Topology::Full, "full AXI (lightweight bridges)");
+  add(Protocol::Axi, Topology::Collapsed, "collapsed AXI");
+  add(Protocol::Stbus, Topology::Collapsed, "collapsed STBus");
+  add(Protocol::Stbus, Topology::SingleLayer, "single-layer STBus");
+  add(Protocol::Stbus, Topology::Full, "full STBus");
+  add(Protocol::Ahb, Topology::Full, "full AHB");
+  add(Protocol::Axi, Topology::Full, "full AXI (lightweight bridges)");
 
+  const auto rs = benchx::runSweep(points, opts);
   benchx::printScenarioTable(
-      "Fig. 3: platform instances, on-chip memory (1 wait state)", rs,
-      /*normalize_to=*/1);
+      opts.out(), "Fig. 3: platform instances, on-chip memory (1 wait state)",
+      rs, /*normalize_to=*/1);
   return 0;
 }

@@ -21,21 +21,24 @@
 
 using namespace mpsoc;
 
-int main() {
+int main(int argc, char** argv) {
   using platform::MemoryKind;
   using platform::PlatformConfig;
   using platform::Protocol;
   using platform::Topology;
+
+  auto opts = benchx::BenchOptions::parse(argc, argv);
 
   stats::TextTable t(
       "Fig. 4: distributed vs centralized execution time vs memory speed");
   t.setHeader({"wait states", "coll STBus (us)", "dist STBus (us)",
                "STBus dist/coll", "AXI dist/coll"});
 
-  std::cout << "(latency-sensitive traffic: 4-beat bursts, 1 outstanding "
-               "transaction per agent;\n the AXI column shows the protocol is "
-               "interchangeable — topology is what matters)\n";
-  for (unsigned ws : {0u, 1u, 2u, 4u, 8u, 16u, 32u}) {
+  // The whole 7x4 grid is one sweep: every (wait-state, topology, protocol)
+  // point is an independent simulation, so -j N runs them concurrently.
+  const std::vector<unsigned> wait_states = {0u, 1u, 2u, 4u, 8u, 16u, 32u};
+  std::vector<core::SweepPoint> points;
+  for (unsigned ws : wait_states) {
     PlatformConfig base;
     base.memory = MemoryKind::OnChip;
     base.onchip_wait_states = ws;
@@ -57,11 +60,25 @@ int main() {
     dist_axi.protocol = Protocol::Axi;
     dist_axi.force_split_bridges = true;
 
-    auto rc = core::runScenario(coll, "collapsed");
-    auto rd = core::runScenario(dist, "distributed");
-    auto rca = core::runScenario(coll_axi, "collapsed-axi");
-    auto rda = core::runScenario(dist_axi, "distributed-axi");
-    t.addRow({std::to_string(ws),
+    const std::string ws_s = std::to_string(ws);
+    points.push_back({"collapsed-ws" + ws_s, coll, 0});
+    points.push_back({"distributed-ws" + ws_s, dist, 0});
+    points.push_back({"collapsed-axi-ws" + ws_s, coll_axi, 0});
+    points.push_back({"distributed-axi-ws" + ws_s, dist_axi, 0});
+  }
+
+  const auto rs = benchx::runSweep(points, opts);
+
+  std::ostream& os = opts.out();
+  os << "(latency-sensitive traffic: 4-beat bursts, 1 outstanding "
+        "transaction per agent;\n the AXI column shows the protocol is "
+        "interchangeable — topology is what matters)\n";
+  for (std::size_t i = 0; i < wait_states.size(); ++i) {
+    const auto& rc = rs[4 * i + 0];
+    const auto& rd = rs[4 * i + 1];
+    const auto& rca = rs[4 * i + 2];
+    const auto& rda = rs[4 * i + 3];
+    t.addRow({std::to_string(wait_states[i]),
               stats::fmt(static_cast<double>(rc.exec_ps) / 1e6, 2),
               stats::fmt(static_cast<double>(rd.exec_ps) / 1e6, 2),
               stats::fmt(static_cast<double>(rd.exec_ps) /
@@ -71,8 +88,8 @@ int main() {
                              static_cast<double>(rca.exec_ps),
                          3)});
   }
-  t.print(std::cout);
-  std::cout << "\ncsv:\n";
-  t.printCsv(std::cout);
+  t.print(os);
+  os << "\ncsv:\n";
+  t.printCsv(os);
   return 0;
 }

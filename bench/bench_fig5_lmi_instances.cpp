@@ -17,36 +17,39 @@
 
 using namespace mpsoc;
 
-int main() {
+int main(int argc, char** argv) {
   using platform::MemoryKind;
   using platform::PlatformConfig;
   using platform::Protocol;
   using platform::Topology;
 
+  auto opts = benchx::BenchOptions::parse(argc, argv);
+
   PlatformConfig base;
   base.memory = MemoryKind::Lmi;
 
-  std::vector<core::ScenarioResult> rs;
-  auto run = [&](Protocol p, Topology t, bool mem_bridge_split,
+  std::vector<core::SweepPoint> points;
+  auto add = [&](Protocol p, Topology t, bool mem_bridge_split,
                  const std::string& label) {
     PlatformConfig cfg = base;
     cfg.protocol = p;
     cfg.topology = t;
     cfg.mem_bridge_split = mem_bridge_split;
-    rs.push_back(core::runScenario(cfg, label));
+    points.push_back({label, cfg, 0});
   };
 
-  run(Protocol::Axi, Topology::Collapsed, /*split=*/false,
+  add(Protocol::Axi, Topology::Collapsed, /*split=*/false,
       "collapsed AXI (non-split converter)");
-  run(Protocol::Stbus, Topology::Collapsed, true, "collapsed STBus");
-  run(Protocol::Stbus, Topology::Full, true, "distributed STBus");
-  run(Protocol::Ahb, Topology::Full, true, "distributed AHB");
-  run(Protocol::Axi, Topology::Full, true,
+  add(Protocol::Stbus, Topology::Collapsed, true, "collapsed STBus");
+  add(Protocol::Stbus, Topology::Full, true, "distributed STBus");
+  add(Protocol::Ahb, Topology::Full, true, "distributed AHB");
+  add(Protocol::Axi, Topology::Full, true,
       "distributed AXI (lightweight bridges)");
 
+  const auto rs = benchx::runSweep(points, opts);
   benchx::printScenarioTable(
-      "Fig. 5: platform instances with LMI controller + DDR SDRAM", rs,
-      /*normalize_to=*/2);
+      opts.out(), "Fig. 5: platform instances with LMI controller + DDR SDRAM",
+      rs, /*normalize_to=*/2);
 
   stats::TextTable t("LMI optimisation engine effectiveness per instance");
   t.setHeader({"instance", "row-hit rate", "merge ratio", "FIFO full %",
@@ -57,6 +60,6 @@ int main() {
               stats::fmtPct(r.mem_fifo_total.frac_full),
               stats::fmtPct(r.mem_fifo_total.frac_no_request)});
   }
-  t.print(std::cout);
+  t.print(opts.out());
   return 0;
 }

@@ -139,12 +139,20 @@ Result runNocFabric(bool message_locking) {
 
 }  // namespace
 
-int main() {
-  std::vector<Result> rs;
-  rs.push_back(runBusFabric(/*genconv=*/true));
-  rs.push_back(runBusFabric(/*genconv=*/false));
-  rs.push_back(runNocFabric(/*message_locking=*/false));
-  rs.push_back(runNocFabric(/*message_locking=*/true));
+int main(int argc, char** argv) {
+  auto opts = benchx::BenchOptions::parse(argc, argv);
+
+  // Four fabrics, four independent simulations — each worker builds and runs
+  // its own in a private slot.
+  std::vector<Result> rs(4);
+  core::parallelFor(rs.size(), opts.jobs(), [&](std::size_t i) {
+    switch (i) {
+      case 0: rs[i] = runBusFabric(/*genconv=*/true); break;
+      case 1: rs[i] = runBusFabric(/*genconv=*/false); break;
+      case 2: rs[i] = runNocFabric(/*message_locking=*/false); break;
+      default: rs[i] = runNocFabric(/*message_locking=*/true); break;
+    }
+  });
 
   stats::TextTable t("Outlook: bridged multi-layer bus vs network-on-chip "
                      "(8 masters -> 1 LMI DDR)");
@@ -156,9 +164,9 @@ int main() {
               stats::fmt(r.mean_lat_ns, 1), stats::fmt(r.merge_ratio, 2),
               stats::fmt(r.row_hit, 3)});
   }
-  t.print(std::cout);
-  std::cout
-      << "\nReading: a plain round-robin NoC provides split, non-blocking "
+  std::ostream& os = opts.out();
+  t.print(os);
+  os << "\nReading: a plain round-robin NoC provides split, non-blocking "
          "segmentation —\nyet lands near the *lightweight-bridge* fabric, "
          "because its routers interleave\npackets freely and destroy the "
          "message trains the memory controller feeds on\n(merge ratio "
@@ -168,7 +176,7 @@ int main() {
          "of the gap to the GenConv fabric.\nThe paper's guidelines 4/5 "
          "compose: segmentation alone is not enough; whoever\nowns the "
          "fabric must also preserve memory-controller-friendly traffic.\n";
-  std::cout << "\ncsv:\n";
-  t.printCsv(std::cout);
+  os << "\ncsv:\n";
+  t.printCsv(os);
   return 0;
 }

@@ -41,7 +41,9 @@ core::SingleLayerConfig baseCfg(core::RigProtocol p, std::uint64_t gap_min,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto opts = benchx::BenchOptions::parse(argc, argv);
+
   stats::TextTable t(
       "S4.1.1: many-to-many single layer, offered-load sweep (min buffering)");
   t.setHeader({"load", "gap (cycles)", "STBus exec (us)", "AXI exec (us)",
@@ -51,38 +53,55 @@ int main() {
     const char* label;
     std::uint64_t gmin, gmax;
   };
-  const Load loads[] = {{"0.1", 600, 1000}, {"0.25", 240, 400},
-                        {"0.5", 120, 200},  {"0.75", 60, 110},
-                        {"0.9", 30, 60},    {"sat", 0, 0}};
-  for (const auto& l : loads) {
-    core::SingleLayerRig st(
-        baseCfg(core::RigProtocol::Stbus, l.gmin, l.gmax, 2));
-    core::SingleLayerRig ax(baseCfg(core::RigProtocol::Axi, l.gmin, l.gmax, 2));
-    core::SingleLayerRig ah(baseCfg(core::RigProtocol::Ahb, l.gmin, l.gmax, 2));
-    const double ts = static_cast<double>(st.run());
-    const double ta = static_cast<double>(ax.run());
-    const double th = static_cast<double>(ah.run());
+  const std::vector<Load> loads = {{"0.1", 600, 1000}, {"0.25", 240, 400},
+                                   {"0.5", 120, 200},  {"0.75", 60, 110},
+                                   {"0.9", 30, 60},    {"sat", 0, 0}};
+  const core::RigProtocol protos[] = {core::RigProtocol::Stbus,
+                                      core::RigProtocol::Axi,
+                                      core::RigProtocol::Ahb};
+
+  // Each (load, protocol) rig is an independent simulation: fan the whole
+  // grid across the pool, each worker filling its own slot.
+  std::vector<double> exec(loads.size() * 3, 0.0);
+  core::parallelFor(exec.size(), opts.jobs(), [&](std::size_t i) {
+    const auto& l = loads[i / 3];
+    core::SingleLayerRig rig(baseCfg(protos[i % 3], l.gmin, l.gmax, 2));
+    exec[i] = static_cast<double>(rig.run());
+  });
+
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const auto& l = loads[i];
+    const double ts = exec[3 * i + 0];
+    const double ta = exec[3 * i + 1];
+    const double th = exec[3 * i + 2];
     t.addRow({l.label, std::to_string(l.gmin) + "-" + std::to_string(l.gmax),
               stats::fmt(ts / 1e6, 1), stats::fmt(ta / 1e6, 1),
               stats::fmt(th / 1e6, 1), stats::fmt(ta / ts, 3),
               stats::fmt(th / ts, 3)});
   }
-  t.print(std::cout);
-  std::cout << "\ncsv:\n";
-  t.printCsv(std::cout);
+  std::ostream& os = opts.out();
+  t.print(os);
+  os << "\ncsv:\n";
+  t.printCsv(os);
 
   // The buffering claim: at saturation, deeper STBus target FIFOs close the
   // gap to AXI (with its own minimum depth-2 buffering).
   stats::TextTable t2("S4.1.1 (cont.): STBus target buffering at saturation");
   t2.setHeader({"target FIFO depth", "STBus exec (us)", "vs AXI (depth 2)"});
-  core::SingleLayerRig ax(baseCfg(core::RigProtocol::Axi, 0, 0, 2));
-  const double ta = static_cast<double>(ax.run());
-  for (std::size_t depth : {1u, 2u, 4u, 8u, 16u}) {
-    core::SingleLayerRig st(baseCfg(core::RigProtocol::Stbus, 0, 0, depth));
-    const double ts = static_cast<double>(st.run());
-    t2.addRow({std::to_string(depth), stats::fmt(ts / 1e6, 1),
+  const std::vector<std::size_t> depths = {1u, 2u, 4u, 8u, 16u};
+  std::vector<double> exec2(depths.size() + 1, 0.0);
+  core::parallelFor(exec2.size(), opts.jobs(), [&](std::size_t i) {
+    core::SingleLayerRig rig(
+        i == 0 ? baseCfg(core::RigProtocol::Axi, 0, 0, 2)
+               : baseCfg(core::RigProtocol::Stbus, 0, 0, depths[i - 1]));
+    exec2[i] = static_cast<double>(rig.run());
+  });
+  const double ta = exec2[0];
+  for (std::size_t i = 0; i < depths.size(); ++i) {
+    const double ts = exec2[i + 1];
+    t2.addRow({std::to_string(depths[i]), stats::fmt(ts / 1e6, 1),
                stats::fmt(ts / ta, 3)});
   }
-  t2.print(std::cout);
+  t2.print(os);
   return 0;
 }

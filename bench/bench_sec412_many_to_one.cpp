@@ -37,31 +37,46 @@ core::SingleLayerConfig cfgFor(core::RigProtocol p, double read_fraction) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto opts = benchx::BenchOptions::parse(argc, argv);
+
   stats::TextTable t("S4.1.2: many-to-one single layer, 1-wait-state memory");
   t.setHeader({"protocol", "mix", "exec (us)", "vs STBus",
                "rsp-channel efficiency"});
 
-  for (double rf : {1.0, 0.6}) {
-    const char* mix = rf == 1.0 ? "reads" : "60/40 r/w";
-    core::SingleLayerRig st(cfgFor(core::RigProtocol::Stbus, rf));
-    const double ts = static_cast<double>(st.run());
-    t.addRow({"STBus", mix, stats::fmt(ts / 1e6, 1), "1.000",
-              stats::fmt(st.responseEfficiency(), 3)});
-    core::SingleLayerRig ax(cfgFor(core::RigProtocol::Axi, rf));
-    const double ta = static_cast<double>(ax.run());
-    t.addRow({"AXI", mix, stats::fmt(ta / 1e6, 1), stats::fmt(ta / ts, 3),
-              stats::fmt(ax.responseEfficiency(), 3)});
-    core::SingleLayerRig ah(cfgFor(core::RigProtocol::Ahb, rf));
-    const double th = static_cast<double>(ah.run());
-    t.addRow({"AHB", mix, stats::fmt(th / 1e6, 1), stats::fmt(th / ts, 3),
-              stats::fmt(ah.responseEfficiency(), 3)});
+  const std::vector<double> mixes = {1.0, 0.6};
+  const core::RigProtocol protos[] = {core::RigProtocol::Stbus,
+                                      core::RigProtocol::Axi,
+                                      core::RigProtocol::Ahb};
+  const char* proto_names[] = {"STBus", "AXI", "AHB"};
+
+  struct Cell {
+    double exec = 0.0;
+    double rsp_eff = 0.0;
+  };
+  std::vector<Cell> cells(mixes.size() * 3);
+  core::parallelFor(cells.size(), opts.jobs(), [&](std::size_t i) {
+    core::SingleLayerRig rig(cfgFor(protos[i % 3], mixes[i / 3]));
+    cells[i].exec = static_cast<double>(rig.run());
+    cells[i].rsp_eff = rig.responseEfficiency();
+  });
+
+  for (std::size_t m = 0; m < mixes.size(); ++m) {
+    const char* mix = mixes[m] == 1.0 ? "reads" : "60/40 r/w";
+    const double ts = cells[3 * m].exec;
+    for (std::size_t k = 0; k < 3; ++k) {
+      const auto& c = cells[3 * m + k];
+      t.addRow({proto_names[k], mix, stats::fmt(c.exec / 1e6, 1),
+                k == 0 ? "1.000" : stats::fmt(c.exec / ts, 3),
+                stats::fmt(c.rsp_eff, 3)});
+    }
   }
-  t.print(std::cout);
-  std::cout << "\nExpected: execution times within a few percent of each "
-               "other; read-only response-channel efficiency ~0.5 (pinned by "
-               "the 1-wait-state memory).\n";
-  std::cout << "\ncsv:\n";
-  t.printCsv(std::cout);
+  std::ostream& os = opts.out();
+  t.print(os);
+  os << "\nExpected: execution times within a few percent of each "
+        "other; read-only response-channel efficiency ~0.5 (pinned by "
+        "the 1-wait-state memory).\n";
+  os << "\ncsv:\n";
+  t.printCsv(os);
   return 0;
 }

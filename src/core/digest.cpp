@@ -1,0 +1,74 @@
+#include "core/digest.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mpsoc::core {
+
+namespace {
+
+/// Round-trip rendering: %.17g distinguishes any two doubles, so digest
+/// equality means bit-identical metrics (modulo -0.0/0.0, which no stat
+/// produces).
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void emitBuckets(std::ostream& os, const char* key, const FifoBuckets& b) {
+  os << key << ".phase=" << b.phase << "\n"
+     << key << ".full=" << num(b.frac_full) << "\n"
+     << key << ".storing=" << num(b.frac_storing) << "\n"
+     << key << ".no_request=" << num(b.frac_no_request) << "\n"
+     << key << ".empty=" << num(b.frac_empty) << "\n"
+     << key << ".mean_occupancy=" << num(b.mean_occupancy) << "\n";
+}
+
+}  // namespace
+
+std::string digestText(const ScenarioResult& r) {
+  std::ostringstream os;
+  os << "label=" << r.label << "\n"
+     << "exec_ps=" << r.exec_ps << "\n"
+     << "edges_executed=" << r.edges_executed << "\n"
+     << "completed=" << (r.completed ? 1 : 0) << "\n"
+     << "retired=" << r.retired << "\n"
+     << "bytes_total=" << r.bytes_total << "\n"
+     << "mean_read_latency_ns=" << num(r.mean_read_latency_ns) << "\n"
+     << "p95_read_latency_ns=" << num(r.p95_read_latency_ns) << "\n"
+     << "bandwidth_mb_s=" << num(r.bandwidth_mb_s) << "\n"
+     << "lmi.row_hit_rate=" << num(r.lmi_row_hit_rate) << "\n"
+     << "lmi.merge_ratio=" << num(r.lmi_merge_ratio) << "\n"
+     << "lmi.refreshes=" << r.lmi_refreshes << "\n"
+     << "cpu_cpi=" << num(r.cpu_cpi) << "\n";
+  emitBuckets(os, "fifo", r.mem_fifo_total);
+  for (std::size_t i = 0; i < r.mem_fifo_phases.size(); ++i) {
+    emitBuckets(os, ("fifo." + std::to_string(i)).c_str(),
+                r.mem_fifo_phases[i]);
+  }
+  for (const auto& m : r.masters) {
+    os << "master." << m.name << "=" << m.issued << "," << m.retired << ","
+       << num(m.mean_latency_ns) << "," << num(m.p95_latency_ns) << "\n";
+  }
+  return os.str();
+}
+
+std::uint64_t digestValue(const ScenarioResult& r) {
+  const std::string text = digestText(r);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string digestHex(const ScenarioResult& r) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(digestValue(r)));
+  return buf;
+}
+
+}  // namespace mpsoc::core

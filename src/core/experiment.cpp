@@ -16,11 +16,22 @@ FifoBuckets flatten(const std::string& name,
   return out;
 }
 
+MasterStats masterStats(const txn::MasterBase& m) {
+  MasterStats s;
+  s.name = m.name();
+  s.issued = m.issued();
+  s.retired = m.retired();
+  s.mean_latency_ns = m.latency().latencyNs().mean();
+  s.p95_latency_ns = m.latency().quantileNs(0.95);
+  return s;
+}
+
 ScenarioResult harvest(platform::Platform& p, std::string label,
                        sim::Picos exec_ps) {
   ScenarioResult r;
   r.label = std::move(label);
   r.exec_ps = exec_ps;
+  r.edges_executed = p.simulator().edgesExecuted();
   r.completed = p.allDone();
 
   const auto t = p.totals();
@@ -44,6 +55,9 @@ ScenarioResult harvest(platform::Platform& p, std::string label,
     r.mem_fifo_phases.push_back(
         flatten(p.phaseSchedule().phase(i).name, p.memFifo().phase(i)));
   }
+  for (const auto& g : p.traffic()) r.masters.push_back(masterStats(*g));
+  if (p.dsp()) r.masters.push_back(masterStats(*p.dsp()));
+  if (p.dmaEngine()) r.masters.push_back(masterStats(*p.dmaEngine()));
   if (p.dsp()) r.cpu_cpi = p.dsp()->cpi();
   return r;
 }

@@ -22,9 +22,23 @@ struct FifoBuckets {
   double mean_occupancy = 0.0;
 };
 
+/// Per-master issue/latency summary (the "latency spread" view of Abl. E and
+/// the golden-stats digests).  Order follows platform construction order,
+/// which is deterministic for a given config.
+struct MasterStats {
+  std::string name;
+  std::uint64_t issued = 0;
+  std::uint64_t retired = 0;
+  double mean_latency_ns = 0.0;
+  double p95_latency_ns = 0.0;
+};
+
 struct ScenarioResult {
   std::string label;
   sim::Picos exec_ps = 0;
+  /// Edge instants the kernel executed — its unit of work, used by the sweep
+  /// harness to report simulation throughput (edges per wall second).
+  std::uint64_t edges_executed = 0;
   bool completed = false;
 
   std::uint64_t retired = 0;
@@ -40,6 +54,8 @@ struct ScenarioResult {
 
   FifoBuckets mem_fifo_total;
   std::vector<FifoBuckets> mem_fifo_phases;
+
+  std::vector<MasterStats> masters;
 
   double cpu_cpi = 0.0;
 };

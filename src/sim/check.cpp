@@ -47,8 +47,10 @@ CheckContext checkContext(const char* file, int line, std::string who,
 void raiseInvariant(CheckContext ctx, std::string detail) {
 #ifndef NDEBUG
   // Debug builds: leave a trace even if the exception dies in a noexcept
-  // context or a destructor before anyone can print what().
-  std::cerr << formatReport(ctx, detail) << std::endl;
+  // context or a destructor before anyone can print what().  Emitted as one
+  // pre-formatted string so reports from concurrent simulations (sweep
+  // workers) interleave whole lines, never fragments.
+  std::cerr << formatReport(ctx, detail) + "\n" << std::flush;
 #endif
   throw InvariantViolation(std::move(ctx), std::move(detail));
 }

@@ -3,15 +3,26 @@
 namespace mpsoc::sim {
 
 Logger& Logger::instance() {
-  static Logger logger;
+  // Meyers singleton: initialization is thread-safe, and the instance holds
+  // only atomic/mutex-guarded state so concurrent simulations may share it.
+  static Logger logger;  // mpsoc-lint: allow(shared-static)
   return logger;
 }
 
 void Logger::write(LogLevel lvl, const std::string& who,
                    const std::string& msg) {
   static const char* names[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", ""};
-  std::cerr << "[" << names[static_cast<int>(lvl)] << "] " << who << ": "
-            << msg << "\n";
+  std::string line;
+  line.reserve(who.size() + msg.size() + 16);
+  line += "[";
+  line += names[static_cast<int>(lvl)];
+  line += "] ";
+  line += who;
+  line += ": ";
+  line += msg;
+  line += "\n";
+  std::lock_guard<std::mutex> lock(write_mutex_);
+  std::cerr << line;
 }
 
 }  // namespace mpsoc::sim

@@ -1,8 +1,16 @@
 #pragma once
 // Tiny leveled logger.  Tracing a cycle-accurate model produces torrents of
 // output, so the default level is Warn; tests and debugging sessions raise it.
+//
+// Thread safety: the sweep engine (core/sweep.hpp) runs one simulation per
+// worker thread, and all of them share this process-wide sink.  The level is
+// atomic (a worker may probe it while the main thread reconfigures), and each
+// record is formatted into a single string and emitted under an internal
+// mutex, so concurrent simulations interleave whole lines, never fragments.
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -14,14 +22,15 @@ class Logger {
  public:
   static Logger& instance();
 
-  void setLevel(LogLevel lvl) { level_ = lvl; }
-  LogLevel level() const { return level_; }
-  bool enabled(LogLevel lvl) const { return lvl >= level_; }
+  void setLevel(LogLevel lvl) { level_.store(lvl, std::memory_order_relaxed); }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+  bool enabled(LogLevel lvl) const { return lvl >= level(); }
 
   void write(LogLevel lvl, const std::string& who, const std::string& msg);
 
  private:
-  LogLevel level_ = LogLevel::Warn;
+  std::atomic<LogLevel> level_ = LogLevel::Warn;
+  std::mutex write_mutex_;
 };
 
 #define MPSOC_LOG(lvl, who, expr)                                      \

@@ -15,6 +15,7 @@ ClockDomain& Simulator::addClockDomain(const std::string& name, double mhz) {
 
 bool Simulator::step() {
   if (domains_.empty()) return false;
+  ++edges_executed_;
 
   Picos t = std::numeric_limits<Picos>::max();
   for (const auto& d : domains_) t = std::min(t, d->nextEdge());

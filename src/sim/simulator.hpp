@@ -40,6 +40,11 @@ class Simulator {
   /// Current global time.  During an edge this is the instant of that edge.
   Picos now() const { return now_ps_; }
 
+  /// Number of edge instants executed so far — the kernel's unit of work.
+  /// Sweep harnesses divide this by wall-clock time to report simulation
+  /// throughput (edges/s) independently of clock-domain frequencies.
+  std::uint64_t edgesExecuted() const { return edges_executed_; }
+
   /// Current position within the two-phase edge protocol.
   Phase phase() const { return phase_; }
 
@@ -89,6 +94,7 @@ class Simulator {
 
   std::vector<std::unique_ptr<ClockDomain>> domains_;
   Picos now_ps_ = 0;
+  std::uint64_t edges_executed_ = 0;
   Phase phase_ = Phase::Outside;
   bool deep_check_ = false;
   bool in_replay_ = false;

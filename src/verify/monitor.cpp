@@ -9,7 +9,9 @@ void Monitor::fail(const char* file, int line,
                    const std::string& detail) const {
   ProtocolViolation ex(sim::checkContext(file, line, name_, clk_), detail);
 #ifndef NDEBUG
-  std::cerr << ex.what() << std::endl;
+  // One pre-formatted string per report: violations raised by concurrent
+  // simulations (sweep workers) must not interleave mid-line.
+  std::cerr << std::string(ex.what()) + "\n" << std::flush;
 #endif
   throw ex;
 }

@@ -1,12 +1,18 @@
 // Kernel guarantee tests: simulation results are independent of component
 // construction/registration order (the two-phase evaluate/commit discipline),
-// and identical configurations give bit-identical outcomes.
+// identical configurations give bit-identical outcomes, and parallel sweep
+// execution (-jN) reproduces the serial (-j1) results byte for byte — with
+// and without the protocol monitors attached.
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bridge/bridge.hpp"
+#include "core/digest.hpp"
+#include "core/sweep.hpp"
 #include "iptg/iptg.hpp"
 #include "mem/simple_memory.hpp"
 #include "sim/simulator.hpp"
@@ -137,6 +143,65 @@ TEST(Determinism, TypeConversionAcrossBridge) {
   sim.runUntilIdle(1'000'000'000'000ull);
   EXPECT_TRUE(gen.done());
   EXPECT_EQ(gen.retired(), 60u);
+}
+
+// --- Determinism under parallelism ---------------------------------------
+//
+// The sweep engine promises that the digest *set* of a sweep is a pure
+// function of the point list: independent of -j, of scheduling, and of
+// whether the protocol monitors are attached elsewhere in the process.
+
+std::vector<core::SweepPoint> sweepGrid(bool verify) {
+  std::vector<core::SweepPoint> points;
+  for (unsigned ws : {1u, 4u}) {
+    for (auto topo :
+         {platform::Topology::SingleLayer, platform::Topology::Collapsed}) {
+      platform::PlatformConfig cfg;
+      cfg.protocol = platform::Protocol::Stbus;
+      cfg.topology = topo;
+      cfg.memory = platform::MemoryKind::OnChip;
+      cfg.onchip_wait_states = ws;
+      cfg.workload_scale = 0.05;
+      cfg.include_cpu = false;
+      cfg.verify = verify;
+      points.push_back(
+          {"ws" + std::to_string(ws) +
+               (topo == platform::Topology::Collapsed ? "-coll" : "-single"),
+           cfg, 0});
+    }
+  }
+  return points;
+}
+
+std::vector<std::string> digestsAt(const std::vector<core::SweepPoint>& points,
+                                   unsigned jobs) {
+  core::SweepOptions opts;
+  opts.jobs = jobs;
+  const auto out = core::SweepRunner(opts).run(points);
+  EXPECT_TRUE(out.ok);
+  std::vector<std::string> ds;
+  for (const auto& p : out.points) ds.push_back(core::digestText(p.result));
+  return ds;
+}
+
+TEST(Determinism, SweepDigestsIndependentOfJobCount) {
+  const auto points = sweepGrid(/*verify=*/false);
+  const auto j1 = digestsAt(points, 1);
+  const auto j4 = digestsAt(points, 4);
+  const auto j4_again = digestsAt(points, 4);
+  EXPECT_EQ(j1, j4);
+  EXPECT_EQ(j4, j4_again);
+}
+
+TEST(Determinism, MonitoredSweepMatchesUnmonitoredAndEveryJobCount) {
+  // Attaching the src/verify monitors must not perturb any locked metric,
+  // and monitored runs must themselves be -j independent (the monitors and
+  // their verify::Context are per-simulation state).
+  const auto plain = digestsAt(sweepGrid(false), 1);
+  const auto monitored_j1 = digestsAt(sweepGrid(true), 1);
+  const auto monitored_j3 = digestsAt(sweepGrid(true), 3);
+  EXPECT_EQ(plain, monitored_j1);
+  EXPECT_EQ(monitored_j1, monitored_j3);
 }
 
 }  // namespace

@@ -7,7 +7,10 @@
 #      negative tests)
 #   3. monitored scenario sweep: every shipped scenario under
 #      mpsoc_run --verify (protocol monitors + conservation audit)
-#   4. clang-format --dry-run over src/ tests/ tools/ (skipped with a notice
+#   4. parallel-sweep smoke: the shipped scenarios at -j 2 vs -j 1 must emit
+#      byte-identical digest sets (determinism under parallelism); the -j 2
+#      run writes BENCH_sweep.json (per-point wall-clock, Medges/s, digest)
+#   5. clang-format --dry-run over src/ tests/ tools/ (skipped with a notice
 #      when clang-format is not installed)
 #
 # Usage: tools/check.sh [build-dir]     (default: build-check)
@@ -44,6 +47,41 @@ fi
 
 stage "monitored scenario sweep (mpsoc_run --verify)"
 if ! "$BUILD/tools/mpsoc_run" --verify "$ROOT"/tools/scenarios/*.scn; then
+  FAILED=1
+fi
+
+stage "parallel-sweep smoke (-j 2 vs -j 1 digest compare)"
+# A tiny grid (reduced workload scale) so the smoke stays fast; the digest
+# sets of the serial and parallel runs must be byte-identical.
+mkdir -p "$BUILD/sweep-smoke"
+for topo in single-layer collapsed full; do
+  cat > "$BUILD/sweep-smoke/$topo.scn" <<EOF
+name = smoke-$topo
+protocol = stbus
+topology = $topo
+memory = onchip
+wait_states = 1
+workload_scale = 0.1
+include_cpu = false
+EOF
+done
+if "$BUILD/tools/mpsoc_run" --sweep -j 1 --json "$BUILD/sweep-smoke/j1.json" \
+      "$BUILD/sweep-smoke"/*.scn > /dev/null && \
+   "$BUILD/tools/mpsoc_run" --sweep -j 2 --json "$BUILD/sweep-smoke/j2.json" \
+      "$BUILD/sweep-smoke"/*.scn > /dev/null; then
+  D1="$(grep -o '"digest": "[0-9a-f]*"' "$BUILD/sweep-smoke/j1.json")"
+  D2="$(grep -o '"digest": "[0-9a-f]*"' "$BUILD/sweep-smoke/j2.json")"
+  if [ -z "$D1" ] || [ "$D1" != "$D2" ]; then
+    echo "sweep smoke: -j 1 and -j 2 digests differ (determinism regression)"
+    diff <(echo "$D1") <(echo "$D2")
+    FAILED=1
+  else
+    echo "sweep smoke: digests identical at -j 1 and -j 2"
+    cp "$BUILD/sweep-smoke/j2.json" "$BUILD/BENCH_sweep.json"
+    echo "wrote $BUILD/BENCH_sweep.json"
+  fi
+else
+  echo "sweep smoke: mpsoc_run failed"
   FAILED=1
 fi
 

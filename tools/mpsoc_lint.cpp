@@ -29,6 +29,14 @@
 //                       txn/ports.hpp creates a transaction channel the
 //                       monitors cannot see; transactions must travel through
 //                       InitiatorPort/TargetPort bundles.
+//   shared-static       mutable `static` storage in simulation code is state
+//                       shared across concurrently-running simulations — the
+//                       sweep engine (core/sweep.hpp) runs one simulation per
+//                       worker thread, so such state is both a data race and
+//                       a determinism leak.  Allowed: const/constexpr,
+//                       std::atomic (when behaviour-neutral, like the
+//                       transaction-id counter), and explicitly-audited
+//                       singletons (suppress with the usual annotation).
 //
 // Usage: mpsoc_lint <dir-or-file>...   (exit 1 when any finding is reported)
 // Suppress a finding with a trailing comment:  // mpsoc-lint: allow(<rule>)
@@ -297,6 +305,30 @@ class FileLinter {
                "transaction FIFOs must live inside txn::InitiatorPort / "
                "txn::TargetPort so protocol monitors can tap them; do not "
                "declare a bare SyncFifo of RequestPtr/ResponsePtr");
+      }
+    }
+
+    // shared-static: mutable static storage in simulation code.  The sweep
+    // pool runs simulations concurrently; anything `static` and writable is
+    // shared between them.  Skips const/constexpr/atomic/thread_local data
+    // and function declarations (a '(' before the declarator terminator).
+    if (kernel_code_ && !suppressed(comment, "shared-static")) {
+      static const std::regex static_decl(R"(^\s*(?:inline\s+)?static\s)");
+      if (std::regex_search(code, static_decl) &&
+          code.find("const") == std::string::npos &&
+          code.find("std::atomic") == std::string::npos &&
+          code.find("thread_local") == std::string::npos) {
+        const std::size_t paren = code.find('(');
+        const std::size_t term = code.find_first_of(";={");
+        const bool is_function =
+            paren != std::string::npos &&
+            (term == std::string::npos || paren < term);
+        if (!is_function) {
+          report(lineno, "shared-static",
+                 "mutable static storage is shared across concurrent "
+                 "simulations (see core/sweep.hpp); make it per-instance, "
+                 "const, or std::atomic-and-behaviour-neutral");
+        }
       }
     }
 

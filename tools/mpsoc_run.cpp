@@ -1,13 +1,21 @@
-// mpsoc_run — command-line scenario runner.
+// mpsoc_run — command-line scenario runner and sweep driver.
 //
 //   mpsoc_run [options] scenario1.scn [scenario2.scn ...]
 //
-//   --csv          print a machine-readable CSV block after the table
-//   --json         print the results as JSON
-//   --normalize N  normalise execution times to scenario index N (default 0)
-//   --verify       attach the protocol monitors and transaction auditor
-//                  (src/verify) to every platform; a violation aborts with
-//                  exit code 1
+//   --csv           print a machine-readable CSV block after the table
+//   --json <path>   write the sweep outcome (per-point digest, wall-clock,
+//                   simulation throughput, full metrics) as JSON; `-` writes
+//                   to stdout.  This is the BENCH_sweep.json schema.
+//   --normalize N   normalise execution times to scenario index N (default 0)
+//   --verify        attach the protocol monitors and transaction auditor
+//                   (src/verify) to every platform; a violation aborts with
+//                   exit code 1
+//   --sweep         print the sweep view: per-point wall-clock, simulation
+//                   throughput (Medges/s) and canonical result digest
+//   -j N            run N scenarios concurrently (0 = one per hardware
+//                   thread).  Each run owns its own simulator, RNG streams,
+//                   stats and verify context; results and digests are
+//                   byte-identical at every -j.
 //
 // Each scenario file describes one platform instance (see
 // platform/scenario_parser.hpp for the format; tools/scenarios/ ships the
@@ -15,13 +23,14 @@
 // their execution times are directly comparable.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
-#include "core/experiment.hpp"
+#include "core/digest.hpp"
 #include "core/export.hpp"
+#include "core/sweep.hpp"
 #include "platform/scenario_parser.hpp"
-#include "sim/check.hpp"
 #include "stats/report.hpp"
 
 using namespace mpsoc;
@@ -29,29 +38,35 @@ using namespace mpsoc;
 namespace {
 
 void usage() {
-  std::cerr << "usage: mpsoc_run [--csv] [--json] [--normalize N] [--verify] "
-               "scenario.scn [...]\n";
+  std::cerr << "usage: mpsoc_run [--csv] [--json <path|->] [--normalize N] "
+               "[--verify] [--sweep] [-j N] scenario.scn [...]\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool want_csv = false;
-  bool want_json = false;
+  bool want_sweep = false;
   bool want_verify = false;
+  std::string json_path;
   std::size_t normalize_to = 0;
+  unsigned jobs = 1;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) {
       want_csv = true;
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      want_json = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       want_verify = true;
+    } else if (std::strcmp(argv[i], "--sweep") == 0) {
+      want_sweep = true;
+    } else if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--normalize") == 0 && i + 1 < argc) {
       normalize_to = static_cast<std::size_t>(std::stoul(argv[++i]));
-    } else if (argv[i][0] == '-') {
+    } else if (argv[i][0] == '-' && argv[i][1] != '\0') {
       usage();
       return 2;
     } else {
@@ -63,7 +78,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<core::ScenarioResult> results;
+  std::vector<core::SweepPoint> points;
   for (const auto& path : files) {
     platform::NamedScenario sc;
     try {
@@ -73,15 +88,41 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (want_verify) sc.config.verify = true;
-    std::cerr << "running " << sc.name << " (" << path << ")...\n";
-    try {
-      results.push_back(core::runScenario(sc.config, sc.name));
-    } catch (const sim::InvariantViolation& e) {
-      std::cerr << "verification failure in " << sc.name << ":\n"
-                << e.what() << "\n";
-      return 1;
+    points.push_back(core::SweepPoint{sc.name, sc.config, 0});
+  }
+
+  core::SweepOptions opts;
+  opts.jobs = jobs;
+  opts.on_progress = [](const core::SweepProgress& p) {
+    std::cerr << "[" << p.completed << "/" << p.total << "] " << p.label
+              << ": " << core::toString(p.status) << " ("
+              << stats::fmt(p.wall_ms, 1) << " ms)\n";
+  };
+  const core::SweepOutcome sweep = core::SweepRunner(opts).run(points);
+
+  if (!json_path.empty()) {
+    const std::string js = core::toSweepJson(sweep, jobs);
+    if (json_path == "-") {
+      std::cout << js;
+    } else {
+      std::ofstream ofs(json_path);
+      if (!ofs) {
+        std::cerr << "error: cannot write " << json_path << "\n";
+        return 1;
+      }
+      ofs << js;
     }
   }
+
+  if (const core::PointResult* fail = sweep.firstFailure()) {
+    std::cerr << "verification failure in " << fail->label << ":\n"
+              << fail->error << "\n";
+    return 1;
+  }
+
+  std::vector<core::ScenarioResult> results;
+  results.reserve(sweep.points.size());
+  for (const auto& p : sweep.points) results.push_back(p.result);
 
   if (normalize_to >= results.size()) normalize_to = 0;
   stats::TextTable t("mpsoc_run results");
@@ -98,11 +139,20 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
 
+  if (want_sweep) {
+    stats::TextTable s("sweep (-j " + std::to_string(jobs) + ", " +
+                       stats::fmt(sweep.wall_ms, 1) + " ms wall)");
+    s.setHeader({"scenario", "wall (ms)", "Medges/s", "digest"});
+    for (const auto& p : sweep.points) {
+      s.addRow({p.label, stats::fmt(p.wall_ms, 1),
+                stats::fmt(p.sim_edges_per_s / 1e6, 2),
+                core::digestHex(p.result)});
+    }
+    s.print(std::cout);
+  }
+
   if (want_csv) {
     std::cout << "\n" << core::toCsv(results);
-  }
-  if (want_json) {
-    std::cout << "\n" << core::toJson(results);
   }
   return 0;
 }
