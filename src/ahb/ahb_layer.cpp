@@ -39,6 +39,10 @@ void AhbLayer::evaluate() {
   if (state_ == State::Idle) {
     arbitrate();
   }
+  // Layer unlocked and every master queue drained: quiesce until a port
+  // push wakes us (wired in addInitiator/addTarget).  The O(1) state test
+  // keeps the full idle() scan off busy cycles.
+  if (state_ == State::Idle && !anyInflight() && idle()) sleep();
 }
 
 void AhbLayer::arbitrate() {

@@ -48,6 +48,10 @@ void AxiBus::evaluate() {
   responsePath();
   readRequestPath();
   writeRequestPath();
+  // All channels drained and nothing inflight: quiesce until a port push
+  // wakes us (wired in addInitiator/addTarget).  The O(1) inflight test
+  // keeps the full idle() scan off busy cycles.
+  if (!anyInflight() && idle()) sleep();
 }
 
 bool AxiBus::outstandingOk(std::size_t initiator,

@@ -49,7 +49,13 @@ class Bridge::SlaveSide final : public sim::Component {
  public:
   SlaveSide(sim::ClockDomain& clk, Bridge& b)
       : sim::Component(clk, b.name() + ".A"), b_(b) {}
-  void evaluate() override { b_.slaveEvaluate(); }
+  void evaluate() override {
+    b_.slaveEvaluate();
+    // Whole bridge drained (both CDC FIFOs structurally empty — see the
+    // AsyncFifo wake caveat — and side B quiet): quiesce until a_port_.req
+    // or bwd_ push wakes us (wired in the Bridge constructor).
+    if (b_.idle()) sleep();
+  }
   bool idle() const override { return b_.idle(); }
 
  private:
@@ -80,7 +86,14 @@ class Bridge::MasterSide final : public txn::MasterBase {
     }
 
     // Issue at most one side-B transaction per cycle.
-    if (staged_.empty()) return;
+    if (staged_.empty()) {
+      // Nothing staged, buffered or outstanding, and the forward CDC FIFO is
+      // structurally empty (sizeIgnoringSync, not canPop: the push wake fires
+      // a sync delay before readability, so a committed-but-invisible item
+      // must keep us awake).  Quiesce until fwd_ or b_port_.rsp push.
+      if (idle() && b_.fwd_.sizeIgnoringSync() == 0) sleep();
+      return;
+    }
     if (clk_.simulator().now() < staged_.front().ready_at) return;
     const RequestPtr& orig = staged_.front().req;
 
@@ -142,6 +155,13 @@ Bridge::Bridge(sim::ClockDomain& clk_a, sim::ClockDomain& clk_b,
       bwd_(clk_b, clk_a, name_ + ".bwd", cfg_.bwd_depth, cfg_.sync_stages) {
   slave_side_ = std::make_unique<SlaveSide>(clk_a, *this);
   master_side_ = std::make_unique<MasterSide>(clk_b, *this);
+  // Activity protocol wake wiring: side A sleeps on bridge-wide idle and is
+  // woken by new requests or returning completions; side B sleeps when its
+  // queues drain and is woken by forwarded requests or side-B responses.
+  a_port_.req.wakeOnPush(slave_side_.get());
+  bwd_.wakeOnPush(slave_side_.get());
+  fwd_.wakeOnPush(master_side_.get());
+  b_port_.rsp.wakeOnPush(master_side_.get());
 }
 
 Bridge::~Bridge() = default;

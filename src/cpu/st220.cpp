@@ -67,7 +67,12 @@ std::uint64_t St220::nextDataAddr() {
 
 void St220::evaluate() {
   collectResponses();
-  if (done()) return;
+  if (done()) {
+    // Workload finished; once the last outstanding fill retires the core can
+    // never issue again.
+    if (outstanding() == 0) sleep();
+    return;
+  }
   ++active_cycles_;
 
   // A fill that failed to issue (outstanding/port full) retries here.

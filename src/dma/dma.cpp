@@ -26,11 +26,14 @@ void DmaEngine::program(const DmaDescriptor& d) {
   const std::uint64_t granule =
       static_cast<std::uint64_t>(cfg_.burst_beats) * cfg_.bytes_per_beat;
   desc_slices_left_.push_back((d.bytes + granule - 1) / granule);
+  // A finished engine sleeps; programming new work is the wake event.
+  wake();
 }
 
 void DmaEngine::program(const std::vector<DmaDescriptor>& chain) {
   for (const auto& d : chain) program(d);
 }
+
 
 std::uint32_t DmaEngine::sliceBeats(std::uint64_t remaining) const {
   const std::uint64_t full =
@@ -42,6 +45,11 @@ std::uint32_t DmaEngine::sliceBeats(std::uint64_t remaining) const {
 
 void DmaEngine::evaluate() {
   collectResponses();
+  // Chain fully copied and drained: quiesce until program() wakes us.
+  if (idle()) {
+    sleep();
+    return;
+  }
 
   // Drain the copy buffer first (a full buffer would throttle reads).
   if (!write_queue_.empty()) {

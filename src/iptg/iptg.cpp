@@ -50,6 +50,12 @@ bool Iptg::agentReady(const AgentState& a) const {
 
 void Iptg::evaluate() {
   collectResponses();
+  // Every agent's quota issued and retired: nothing can ever restart this
+  // generator, so quiesce for good.
+  if (done()) {
+    sleep();
+    return;
+  }
   if (!port_.req.canPush()) return;
 
   // One issue slot per cycle shared by all agents, rotating for fairness.

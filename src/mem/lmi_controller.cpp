@@ -69,6 +69,9 @@ std::size_t LmiController::mergeRun(std::size_t first) const {
 }
 
 void LmiController::evaluate() {
+  // Never sleeps: the SDRAM refresh engine below is clocked by this call on
+  // every cycle (refreshes must fire on schedule even with an empty request
+  // queue), so the controller opts out of the activity-gating protocol.
   const sim::Picos now = clk_.simulator().now();
   device_->maybeRefresh(now);
   if (now < engine_busy_until_) return;

@@ -11,7 +11,11 @@ using txn::Opcode;
 
 SimpleMemory::SimpleMemory(sim::ClockDomain& clk, std::string name,
                            txn::TargetPort& port, SimpleMemoryConfig cfg)
-    : sim::Component(clk, std::move(name)), port_(port), cfg_(cfg) {}
+    : sim::Component(clk, std::move(name)), port_(port), cfg_(cfg) {
+  // Sleep condition is "request queue empty"; an arriving request is the
+  // wake event.
+  port_.req.wakeOnPush(this);
+}
 
 void SimpleMemory::attachMonitors(verify::VerifyContext& ctx) {
 #if MPSOC_VERIFY
@@ -22,9 +26,14 @@ void SimpleMemory::attachMonitors(verify::VerifyContext& ctx) {
 }
 
 void SimpleMemory::evaluate() {
+  if (port_.req.empty()) {
+    // Nothing queued: whatever busy window remains only delays the *next*
+    // request, so quiesce until one arrives (wakeOnPush).
+    sleep();
+    return;
+  }
   const sim::Picos now = clk_.simulator().now();
   if (now < busy_until_) return;
-  if (port_.req.empty()) return;
 
   const txn::RequestPtr& req = port_.req.front();
   const bool needs_response = !(req->posted && req->op == Opcode::Write);

@@ -107,6 +107,13 @@ struct PlatformConfig {
   /// anything (with it OFF this flag only creates an empty context).
   bool verify = false;
 
+  /// Kernel activity gating (see Simulator::setActivityGating): skip
+  /// evaluate() for components that declared themselves quiescent.  On by
+  /// default; behaviour-neutral by contract (sleep is only legal while
+  /// idle()), so switching it off must reproduce bit-identical digests —
+  /// which is exactly what the kernel-perf smoke in tools/check.sh asserts.
+  bool activity_gating = true;
+
   /// Two-regime workload for the Fig. 6 experiment: phase 1 is an intense
   /// steady regime, phase 2 is burstier with a lower mean.  Quotas become
   /// unbounded; drive the run with Platform::runFor().

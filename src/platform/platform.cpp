@@ -13,6 +13,7 @@ constexpr std::uint64_t kCpuDataBase = kMemBase + 80ull * (1 << 20);
 }  // namespace
 
 Platform::Platform(PlatformConfig cfg) : cfg_(cfg) {
+  sim_.setActivityGating(cfg_.activity_gating);
   clk_n8_ = &sim_.addClockDomain("n8", 250.0);
 
   if (cfg_.two_phase_workload) {

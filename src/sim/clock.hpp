@@ -17,6 +17,14 @@ class Simulator;
 /// Anything holding staged (to-be-registered) state that must become visible
 /// only at the end of the current clock edge.  SyncFifo is the main
 /// implementer; user components may register their own.
+///
+/// Commit scheduling: an Updatable that stages work during an edge must call
+/// ClockDomain::queueCommit(this) (FIFOs do this on every push/pop); the
+/// domain then commits exactly the touched updatables at the end of the edge.
+/// Updatables whose commit() has per-edge observable side effects even when
+/// nothing was staged (e.g. an observed FIFO feeding a cycle-classifying
+/// stats probe) are registered via ClockDomain::markAlwaysCommit() and run on
+/// every edge of their domain.
 class Updatable {
  public:
   virtual ~Updatable() = default;
@@ -38,6 +46,11 @@ class Updatable {
   /// Validate internal structural invariants; raise InvariantViolation on
   /// corruption.  Called per edge in deep-check mode.
   virtual void checkInvariants() const {}
+
+ private:
+  friend class ClockDomain;
+  bool commit_queued_ = false;  ///< enqueued for commit at this edge's end
+  bool always_commit_ = false;  ///< committed on every edge (observed FIFOs)
 };
 
 /// A named clock domain with a fixed period.  Components register themselves
@@ -65,13 +78,46 @@ class ClockDomain {
 
   const std::vector<Component*>& components() const { return components_; }
 
-  void addComponent(Component* c) { components_.push_back(c); }
+  /// How an Updatable participates in the commit phase.  EveryEdge (the
+  /// default, and the contract user updatables were written against) commits
+  /// on each edge of the domain; WhenQueued commits only on edges where the
+  /// updatable called queueCommit() — the FIFOs use this, making untouched
+  /// FIFOs free at commit time.
+  enum class CommitPolicy { EveryEdge, WhenQueued };
+
+  void addComponent(Component* c);
   void removeComponent(Component* c);
-  void addUpdatable(Updatable* u) { updatables_.push_back(u); }
+  void addUpdatable(Updatable* u, CommitPolicy p = CommitPolicy::EveryEdge) {
+    updatables_.push_back(u);
+    if (p == CommitPolicy::EveryEdge) markAlwaysCommit(u);
+  }
   void removeUpdatable(Updatable* u);
+
+  /// Enqueue `u` for commit at the end of the current edge.  Idempotent per
+  /// edge; updatables marked always-commit are never enqueued (they commit
+  /// unconditionally).  FIFOs call this from push/pop, so an untouched FIFO
+  /// costs nothing in the commit phase.
+  void queueCommit(Updatable* u) {
+    if (u->commit_queued_ || u->always_commit_) return;
+    u->commit_queued_ = true;
+    commit_queue_.push_back(u);
+  }
+
+  /// Commit `u` on every edge of this domain, touched or not.  Used when
+  /// commit() has observable per-edge side effects (FIFO observers classify
+  /// every cycle, including quiet ones).
+  void markAlwaysCommit(Updatable* u) {
+    if (u->always_commit_) return;
+    u->always_commit_ = true;
+    always_commit_.push_back(u);
+  }
 
   /// Time of the next edge on the global timeline.
   Picos nextEdge() const { return next_edge_ps_; }
+
+  /// Registration order among the simulator's domains; coincident edges are
+  /// evaluated in ascending index so results match the declaration order.
+  std::size_t index() const { return index_; }
 
   /// Phase 1 of an edge: bump the cycle counter and run every component.
   void evaluateEdge();
@@ -85,13 +131,26 @@ class ClockDomain {
   const std::vector<Updatable*>& updatables() const { return updatables_; }
 
  private:
+  friend class Simulator;
+
+  /// First edge of a domain created while the simulation is already running:
+  /// align to the next multiple of the period strictly after `now`, so the
+  /// late domain lands on the same grid it would occupy had it existed from
+  /// t=0 (coincidences with same-period domains are preserved).
+  void alignFirstEdge(Picos now) {
+    next_edge_ps_ = (now / period_ps_ + 1) * period_ps_;
+  }
+
   Simulator& sim_;
   std::string name_;
   Picos period_ps_;
   Picos next_edge_ps_;
+  std::size_t index_ = 0;
   Cycle cycle_ = 0;
   std::vector<Component*> components_;
   std::vector<Updatable*> updatables_;
+  std::vector<Updatable*> commit_queue_;
+  std::vector<Updatable*> always_commit_;
 };
 
 }  // namespace mpsoc::sim

@@ -1,5 +1,8 @@
 #include "sim/component.hpp"
 
+#include "sim/check.hpp"
+#include "sim/simulator.hpp"
+
 namespace mpsoc::sim {
 
 Component::Component(ClockDomain& clk, std::string name)
@@ -7,6 +10,26 @@ Component::Component(ClockDomain& clk, std::string name)
   clk_.addComponent(this);
 }
 
-Component::~Component() { clk_.removeComponent(this); }
+Component::~Component() {
+  // Wake first so the kernel's asleep counter stays balanced when a sleeping
+  // component is destroyed.
+  wake();
+  clk_.removeComponent(this);
+}
+
+void Component::sleep() {
+  if (asleep_) return;
+  SIM_CHECK_CTX(idle(), name_, &clk_,
+                "sleep() while not idle: a component may only declare itself "
+                "quiescent when it has no pending work");
+  asleep_ = true;
+  clk_.simulator().noteSleep();
+}
+
+void Component::wake() {
+  if (!asleep_) return;
+  asleep_ = false;
+  clk_.simulator().noteWake();
+}
 
 }  // namespace mpsoc::sim

@@ -37,14 +37,44 @@ class Component {
   virtual bool saveState() { return false; }
   virtual void restoreState() {}
 
+  // --- activity protocol ----------------------------------------------------
+  //
+  // A component that knows its evaluate() would be a no-op until some
+  // external event arrives can declare itself quiescent with sleep(); the
+  // kernel then skips its evaluate() (when activity gating is on — the
+  // default) and counts it as idle without polling.  Waking is the
+  // responsibility of whatever delivers the event: FIFO wake hooks
+  // (SyncFifo::wakeOnPush / wakeOnPop) fire at commit time of any edge that
+  // pushed/popped, and programming interfaces (e.g. DmaEngine::program) call
+  // wake() explicitly.
+  //
+  // Contract: sleep() is only legal while idle() holds — enforced by
+  // SIM_CHECK — so gating can never change simulated behaviour, only skip
+  // provably no-op evaluations.  Deep-check replay re-evaluates sleeping
+  // components and flags any that would have staged work.
+
+  /// True while this component has declared itself quiescent.
+  bool asleep() const { return asleep_; }
+
+  /// Clear the quiescent flag; the kernel resumes evaluating this component
+  /// from the next edge (or this edge, if called during its evaluate phase
+  /// before the component's domain evaluates).  Idempotent.
+  void wake();
+
   ClockDomain& clk() { return clk_; }
   const ClockDomain& clk() const { return clk_; }
   Cycle now() const { return clk_.now(); }
   const std::string& name() const { return name_; }
 
  protected:
+  /// Declare this component quiescent.  Only legal while idle() holds.
+  void sleep();
+
   ClockDomain& clk_;
   std::string name_;
+
+ private:
+  bool asleep_ = false;
 };
 
 }  // namespace mpsoc::sim

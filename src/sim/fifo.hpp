@@ -22,6 +22,13 @@
 //     by the kernel.  User code must never call it.
 // Read-only accessors (size, front, at, registeredSize) stay unrestricted so
 // probes and tests can inspect state at any time.
+//
+// Kernel integration: every mutation enqueues the FIFO on its domain's commit
+// queue (ClockDomain::queueCommit), so untouched FIFOs cost nothing in the
+// commit phase; FIFOs with an observer commit on every edge instead, because
+// observers classify quiet cycles too.  Commit is also where wake hooks fire:
+// components registered via wakeOnPush()/wakeOnPop() are woken whenever the
+// edge actually pushed/popped, driving the kernel's activity-gating protocol.
 
 #include <cstddef>
 #include <deque>
@@ -32,6 +39,7 @@
 
 #include "sim/check.hpp"
 #include "sim/clock.hpp"
+#include "sim/component.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
@@ -63,12 +71,16 @@ struct FifoEdgeInfo {
 template <typename T>
 class SyncFifo final : public Updatable {
  public:
-  using Observer = std::function<void(const FifoEdgeInfo&)>;
+  /// Per-edge observer: a plain function pointer + context, not a
+  /// std::function — this is the hottest callback in the simulator (observed
+  /// FIFOs fire it every domain edge) and must not pay type-erasure dispatch.
+  using ObserverFn = void (*)(void* ctx, const FifoEdgeInfo& info);
 
   SyncFifo(ClockDomain& clk, std::string name, std::size_t capacity)
       : clk_(clk), name_(std::move(name)), capacity_(capacity) {
     SIM_CHECK_CTX(capacity_ > 0, name_, &clk_, "FIFO capacity must be > 0");
-    clk_.addUpdatable(this);
+    ring_.resize(capacity_);
+    clk_.addUpdatable(this, ClockDomain::CommitPolicy::WhenQueued);
   }
   ~SyncFifo() override { clk_.removeUpdatable(this); }
 
@@ -82,7 +94,7 @@ class SyncFifo final : public Updatable {
   /// Space check against *registered* occupancy: pops staged this edge do not
   /// free space until the next edge.
   bool canPush(std::size_t n = 1) const {
-    return committed_.size() + staged_.size() + n <= capacity_;
+    return committed_n_ + staged_n_ + n <= capacity_;
   }
 
   void push(T v) {
@@ -92,19 +104,21 @@ class SyncFifo final : public Updatable {
 #if MPSOC_VERIFY
     notifyTaps(push_taps_, v);
 #endif
-    staged_.push_back(std::move(v));
+    clk_.queueCommit(this);
+    ring_[rix(committed_n_ + staged_n_)] = std::move(v);
+    ++staged_n_;
   }
 
   /// Items currently poppable (committed minus already-popped-this-edge).
-  std::size_t size() const { return committed_.size() - pop_count_; }
+  std::size_t size() const { return committed_n_ - pop_count_; }
   bool empty() const { return size() == 0; }
 
   /// Occupancy as seen at the start of this edge (what a probe samples).
-  std::size_t registeredSize() const { return committed_.size(); }
+  std::size_t registeredSize() const { return committed_n_; }
 
   const T& front() const {
     SIM_CHECK_CTX(!empty(), name_, &clk_, "front() on empty FIFO");
-    return committed_[pop_count_];
+    return ring_[rix(pop_count_)];
   }
 
   /// Random access beyond the front — used by the LMI lookahead engine to
@@ -112,12 +126,13 @@ class SyncFifo final : public Updatable {
   const T& at(std::size_t i) const {
     SIM_CHECK_CTX(i < size(), name_, &clk_,
                   "at(" << i << ") beyond visible occupancy " << size());
-    return committed_[pop_count_ + i];
+    return ring_[rix(pop_count_ + i)];
   }
 
   T pop() {
     checkPhase("pop");
     SIM_CHECK_CTX(!empty(), name_, &clk_, "pop() on empty FIFO");
+    clk_.queueCommit(this);
     T v = takeAt(pop_count_);
     ++pop_count_;
 #if MPSOC_VERIFY
@@ -134,14 +149,21 @@ class SyncFifo final : public Updatable {
     SIM_CHECK_CTX(i < size(), name_, &clk_,
                   "popAt(" << i << ") beyond visible occupancy " << size());
     if (i == 0) return pop();
+    clk_.queueCommit(this);
     const std::size_t idx = pop_count_ + i;
     T v = takeAt(idx);
     if constexpr (std::is_copy_constructible_v<T>) {
       if (clk_.simulator().deepCheck()) {
-        ooo_journal_.push_back({idx, committed_[idx]});
+        ooo_journal_.push_back({idx, ring_[rix(idx)]});
       }
     }
-    committed_.erase(committed_.begin() + static_cast<std::ptrdiff_t>(idx));
+    // Close the gap: shift every later element (committed and staged, which
+    // sit contiguously after the committed run) one logical slot down.
+    const std::size_t live = committed_n_ + staged_n_;
+    for (std::size_t j = idx; j + 1 < live; ++j) {
+      ring_[rix(j)] = std::move(ring_[rix(j + 1)]);
+    }
+    --committed_n_;
     ++ooo_pops_;
 #if MPSOC_VERIFY
     notifyTaps(pop_taps_, v);
@@ -149,7 +171,19 @@ class SyncFifo final : public Updatable {
     return v;
   }
 
-  void setObserver(Observer obs) { observer_ = std::move(obs); }
+  /// Attach the per-edge observer.  An observed FIFO commits on every edge of
+  /// its domain (quiet cycles carry classification information too).
+  void setObserver(ObserverFn fn, void* ctx) {
+    observer_ = fn;
+    observer_ctx_ = ctx;
+    clk_.markAlwaysCommit(this);
+  }
+
+  /// Wake `c` at the end of any edge that pushed into / popped from this
+  /// FIFO.  The hooks fire during the commit phase, after occupancy updated,
+  /// so the woken component sees the new state at its next evaluate.
+  void wakeOnPush(Component* c) { push_wakers_.push_back(c); }
+  void wakeOnPop(Component* c) { pop_wakers_.push_back(c); }
 
 #if MPSOC_VERIFY
   /// Payload observation taps for the src/verify protocol monitors: invoked
@@ -166,20 +200,19 @@ class SyncFifo final : public Updatable {
                   "commit() called outside the kernel's commit phase "
                   "(user code must never commit FIFOs directly)");
     FifoEdgeInfo info;
-    info.occupancy_before = committed_.size() + ooo_pops_;
-    info.pushed = staged_.size();
+    info.occupancy_before = committed_n_ + ooo_pops_;
+    info.pushed = staged_n_;
     info.popped = pop_count_ + ooo_pops_;
     info.capacity = capacity_;
 
-    committed_.erase(committed_.begin(),
-                     committed_.begin() + static_cast<std::ptrdiff_t>(pop_count_));
-    for (auto& v : staged_) committed_.push_back(std::move(v));
-    staged_.clear();
+    head_ = rix(pop_count_);
+    committed_n_ = committed_n_ - pop_count_ + staged_n_;
+    staged_n_ = 0;
     pop_count_ = 0;
     ooo_pops_ = 0;
     ooo_journal_.clear();
 
-    info.occupancy_after = committed_.size();
+    info.occupancy_after = committed_n_;
     SIM_CHECK_CTX(
         info.occupancy_after ==
             info.occupancy_before + info.pushed - info.popped,
@@ -187,7 +220,13 @@ class SyncFifo final : public Updatable {
         "commit() accounting mismatch: before=" << info.occupancy_before
             << " +pushed=" << info.pushed << " -popped=" << info.popped
             << " != after=" << info.occupancy_after);
-    if (observer_) observer_(info);
+    if (info.pushed != 0) {
+      for (Component* c : push_wakers_) c->wake();
+    }
+    if (info.popped != 0) {
+      for (Component* c : pop_wakers_) c->wake();
+    }
+    if (observer_) observer_(observer_ctx_, info);
   }
 
   // --- deep-check hooks -----------------------------------------------------
@@ -198,7 +237,7 @@ class SyncFifo final : public Updatable {
 
   std::uint64_t stagedDigest() const override {
     std::uint64_t h = detail::kFnvBasis;
-    h = detail::fnvCombine(h, staged_.size());
+    h = detail::fnvCombine(h, staged_n_);
     h = detail::fnvCombine(h, pop_count_);
     h = detail::fnvCombine(h, ooo_pops_);
     for (const auto& e : ooo_journal_) h = detail::fnvCombine(h, e.index);
@@ -206,14 +245,18 @@ class SyncFifo final : public Updatable {
   }
 
   void rollbackStaged() override {
-    staged_.clear();
+    staged_n_ = 0;
     pop_count_ = 0;
     if constexpr (std::is_copy_constructible_v<T>) {
-      // Undo out-of-order erasures back-to-front to restore exact positions.
+      // Undo out-of-order erasures back-to-front to restore exact positions
+      // (in-order pops need no undo: deep-check pops copy, so the values are
+      // still in place).
       for (auto it = ooo_journal_.rbegin(); it != ooo_journal_.rend(); ++it) {
-        committed_.insert(
-            committed_.begin() + static_cast<std::ptrdiff_t>(it->index),
-            it->value);
+        for (std::size_t j = committed_n_; j > it->index; --j) {
+          ring_[rix(j)] = std::move(ring_[rix(j - 1)]);
+        }
+        ring_[rix(it->index)] = it->value;
+        ++committed_n_;
       }
     }
     ooo_journal_.clear();
@@ -221,13 +264,15 @@ class SyncFifo final : public Updatable {
   }
 
   void checkInvariants() const override {
-    SIM_CHECK_CTX(pop_count_ <= committed_.size(), name_, &clk_,
+    SIM_CHECK_CTX(pop_count_ <= committed_n_, name_, &clk_,
                   "pop count " << pop_count_ << " exceeds committed occupancy "
-                               << committed_.size());
-    SIM_CHECK_CTX(committed_.size() + staged_.size() <= capacity_,
+                               << committed_n_);
+    SIM_CHECK_CTX(committed_n_ + staged_n_ <= capacity_,
                   name_, &clk_,
-                  "occupancy " << committed_.size() + staged_.size()
+                  "occupancy " << committed_n_ + staged_n_
                                << " exceeds capacity " << capacity_);
+    SIM_CHECK_CTX(head_ < capacity_, name_, &clk_,
+                  "ring head " << head_ << " outside capacity " << capacity_);
   }
 
  private:
@@ -237,17 +282,26 @@ class SyncFifo final : public Updatable {
                         "mutated from Component::evaluate()");
   }
 
-  /// Take the value at absolute index `idx`: copied when deep-check replay
-  /// may need to re-run the edge, moved on the fast path.
-  T takeAt(std::size_t idx) {
+  /// Ring index of logical position `logical` (0 = oldest committed item).
+  /// head_ < capacity_ and logical <= capacity_, so one conditional subtract
+  /// replaces a modulo — this is on the per-push/pop hot path.
+  std::size_t rix(std::size_t logical) const {
+    std::size_t i = head_ + logical;
+    if (i >= capacity_) i -= capacity_;
+    return i;
+  }
+
+  /// Take the value at logical position `logical`: copied when deep-check
+  /// replay may need to re-run the edge, moved on the fast path.
+  T takeAt(std::size_t logical) {
     if constexpr (std::is_copy_constructible_v<T>) {
-      if (clk_.simulator().deepCheck()) return committed_[idx];
+      if (clk_.simulator().deepCheck()) return ring_[rix(logical)];
     }
-    return std::move(committed_[idx]);
+    return std::move(ring_[rix(logical)]);
   }
 
   struct OooEntry {
-    std::size_t index;  ///< position in committed_ at erase time
+    std::size_t index;  ///< logical position among committed at erase time
     T value;
   };
 
@@ -261,12 +315,21 @@ class SyncFifo final : public Updatable {
   ClockDomain& clk_;
   std::string name_;
   std::size_t capacity_;
-  std::deque<T> committed_;
-  std::vector<T> staged_;
+  // Fixed-capacity ring: committed items occupy logical slots
+  // [0, committed_n_), staged pushes [committed_n_, committed_n_ + staged_n_),
+  // both relative to head_.  Registered occupancy can never exceed capacity,
+  // so committed + staged always fit.
+  std::vector<T> ring_;
+  std::size_t head_ = 0;
+  std::size_t committed_n_ = 0;
+  std::size_t staged_n_ = 0;
   std::size_t pop_count_ = 0;  ///< in-order pops staged this edge
   std::size_t ooo_pops_ = 0;   ///< out-of-order removals staged this edge
   std::vector<OooEntry> ooo_journal_;  ///< deep-check undo log for popAt
-  Observer observer_;
+  ObserverFn observer_ = nullptr;
+  void* observer_ctx_ = nullptr;
+  std::vector<Component*> push_wakers_;
+  std::vector<Component*> pop_wakers_;
 #if MPSOC_VERIFY
   std::vector<Tap> push_taps_;
   std::vector<Tap> pop_taps_;
@@ -279,6 +342,12 @@ class SyncFifo final : public Updatable {
 /// The full flag seen by the producer is optimistic (no reverse-direction
 /// synchroniser latency); the paper's bridges size these FIFOs shallow, so the
 /// approximation only shaves a couple of stall cycles uniformly.
+///
+/// Wake caveat: wakeOnPush fires when the *producer* commits, which is
+/// `sync_stages` consumer periods before the item becomes readable.  A
+/// consumer that sleeps on this FIFO must therefore gate its sleep on
+/// sizeIgnoringSync() == 0 (nothing committed at all), not on canPop() —
+/// otherwise it could re-sleep after the wake and never see the item.
 template <typename T>
 class AsyncFifo final : public Updatable {
  public:
@@ -293,7 +362,7 @@ class AsyncFifo final : public Updatable {
                   "producer domain '" << prod_.name() << "' and consumer "
                   "domain '" << cons_.name()
                   << "' belong to different simulators");
-    prod_.addUpdatable(this);
+    prod_.addUpdatable(this, ClockDomain::CommitPolicy::WhenQueued);
   }
   ~AsyncFifo() override { prod_.removeUpdatable(this); }
 
@@ -311,6 +380,7 @@ class AsyncFifo final : public Updatable {
     checkPhase("push");
     SIM_CHECK_CTX(canPush(), name_, &prod_,
                   "push() on full FIFO (capacity " << capacity_ << ")");
+    prod_.queueCommit(this);
     staged_.push_back(std::move(v));
   }
 
@@ -335,12 +405,18 @@ class AsyncFifo final : public Updatable {
   T pop() {
     checkPhase("pop");
     SIM_CHECK_CTX(canPop(), name_, &cons_, "pop() with no readable item");
+    prod_.queueCommit(this);
     T v = takeAt(pop_count_);
     ++pop_count_;
     return v;
   }
 
   std::size_t sizeIgnoringSync() const { return committed_.size() - pop_count_; }
+
+  /// Wake `c` when the producer domain commits staged pushes (see the wake
+  /// caveat in the class comment: this precedes readability by the sync
+  /// delay).
+  void wakeOnPush(Component* c) { push_wakers_.push_back(c); }
 
   void commit() override {
     SIM_CHECK_CTX(prod_.simulator().phase() == Phase::Commit, name_, &prod_,
@@ -349,12 +425,16 @@ class AsyncFifo final : public Updatable {
     committed_.erase(committed_.begin(),
                      committed_.begin() + static_cast<std::ptrdiff_t>(pop_count_));
     pop_count_ = 0;
+    const bool pushed = !staged_.empty();
     Picos visible = prod_.simulator().now() +
                     static_cast<Picos>(sync_stages_) * cons_.period();
     for (auto& v : staged_) {
       committed_.push_back(Entry{std::move(v), visible});
     }
     staged_.clear();
+    if (pushed) {
+      for (Component* c : push_wakers_) c->wake();
+    }
   }
 
   // --- deep-check hooks -----------------------------------------------------
@@ -412,6 +492,7 @@ class AsyncFifo final : public Updatable {
   std::deque<Entry> committed_;
   std::vector<T> staged_;
   std::size_t pop_count_ = 0;
+  std::vector<Component*> push_wakers_;
 };
 
 }  // namespace mpsoc::sim

@@ -7,23 +7,88 @@
 
 namespace mpsoc::sim {
 
+namespace {
+constexpr Picos kNever = std::numeric_limits<Picos>::max();
+}  // namespace
+
 ClockDomain& Simulator::addClockDomain(const std::string& name, double mhz) {
   domains_.push_back(
       std::make_unique<ClockDomain>(*this, name, periodFromMhz(mhz)));
-  return *domains_.back();
+  ClockDomain* d = domains_.back().get();
+  d->index_ = domains_.size() - 1;
+  if (now_ps_ > 0) d->alignFirstEdge(now_ps_);
+  schedule_valid_ = false;
+  return *d;
+}
+
+void Simulator::noteComponentAdded(Component*) {
+  ++component_count_;
+  ++component_generation_;
+}
+
+void Simulator::noteComponentRemoved(Component*) {
+  --component_count_;
+  ++component_generation_;
+}
+
+Picos Simulator::nextEdgeTime() {
+  if (domains_.empty()) return kNever;
+  if (domains_.size() == 1) return domains_[0]->nextEdge();
+  if (!schedule_valid_) rebuildSchedule();
+  return schedule_.back().t;
+}
+
+void Simulator::rebuildSchedule() {
+  for (auto& slot : schedule_) {
+    slot.domains.clear();
+    slot_pool_.push_back(std::move(slot.domains));
+  }
+  schedule_.clear();
+  for (const auto& d : domains_) scheduleDomain(d.get());
+  schedule_valid_ = true;
+}
+
+void Simulator::scheduleDomain(ClockDomain* d) {
+  const Picos t = d->nextEdge();
+  // schedule_ is sorted by t descending (back() soonest); walk from the back.
+  std::size_t i = schedule_.size();
+  while (i > 0 && schedule_[i - 1].t < t) --i;
+  if (i > 0 && schedule_[i - 1].t == t) {
+    // Join the existing coincident slot, keeping domain declaration order.
+    auto& v = schedule_[i - 1].domains;
+    auto it = v.begin();
+    while (it != v.end() && (*it)->index() < d->index()) ++it;
+    v.insert(it, d);
+    return;
+  }
+  EdgeSlot slot;
+  if (!slot_pool_.empty()) {
+    slot.domains = std::move(slot_pool_.back());
+    slot_pool_.pop_back();
+  }
+  slot.t = t;
+  slot.domains.push_back(d);
+  schedule_.insert(schedule_.begin() + static_cast<std::ptrdiff_t>(i),
+                   std::move(slot));
 }
 
 bool Simulator::step() {
   if (domains_.empty()) return false;
   ++edges_executed_;
 
-  Picos t = std::numeric_limits<Picos>::max();
-  for (const auto& d : domains_) t = std::min(t, d->nextEdge());
-  now_ps_ = t;
-
-  std::vector<ClockDomain*> edge_domains;
-  for (const auto& d : domains_) {
-    if (d->nextEdge() == t) edge_domains.push_back(d.get());
+  edge_scratch_.clear();
+  if (domains_.size() == 1) {
+    // Single-domain fast path: every edge is the sole domain's next edge.
+    ClockDomain* d = domains_[0].get();
+    now_ps_ = d->nextEdge();
+    edge_scratch_.push_back(d);
+  } else {
+    if (!schedule_valid_) rebuildSchedule();
+    EdgeSlot& slot = schedule_.back();
+    now_ps_ = slot.t;
+    edge_scratch_.swap(slot.domains);
+    slot_pool_.push_back(std::move(slot.domains));
+    schedule_.pop_back();
   }
 
   // Phase 1: evaluate every domain whose edge coincides with t.
@@ -32,7 +97,7 @@ bool Simulator::step() {
   bool replayable = false;
   if (deep_check_) {
     replayable = true;
-    for (ClockDomain* d : edge_domains) {
+    for (ClockDomain* d : edge_scratch_) {
       for (Updatable* u : d->updatables()) {
         if (!u->replaySupported()) replayable = false;
       }
@@ -41,14 +106,19 @@ bool Simulator::step() {
       }
     }
   }
-  for (ClockDomain* d : edge_domains) d->evaluateEdge();
+  for (ClockDomain* d : edge_scratch_) d->evaluateEdge();
 
-  if (deep_check_) deepCheckEdge(edge_domains, replayable);
+  if (deep_check_) deepCheckEdge(edge_scratch_, replayable);
 
   // Phase 2: commit their staged state.
   phase_ = Phase::Commit;
-  for (ClockDomain* d : edge_domains) d->commitEdge();
+  for (ClockDomain* d : edge_scratch_) d->commitEdge();
   phase_ = Phase::Outside;
+
+  // Re-slot each domain at its freshly advanced next edge.
+  if (domains_.size() > 1 && schedule_valid_) {
+    for (ClockDomain* d : edge_scratch_) scheduleDomain(d);
+  }
   return true;
 }
 
@@ -65,7 +135,9 @@ void Simulator::deepCheckEdge(const std::vector<ClockDomain*>& edge_domains,
       for (Component* c : d->components()) c->restoreState();
     }
     // Second pass in reverse order: a well-behaved edge stages the same
-    // work regardless of component registration order.
+    // work regardless of component registration order.  The replay pass
+    // evaluates sleeping components too (see evaluateComponents), so an
+    // illegal sleep() shows up as a digest divergence.
     in_replay_ = true;
     for (auto it = edge_domains.rbegin(); it != edge_domains.rend(); ++it) {
       (*it)->evaluateComponents(true);
@@ -91,6 +163,10 @@ void Simulator::deepCheckEdge(const std::vector<ClockDomain*>& edge_domains,
 Picos Simulator::run(Picos max_time_ps, const std::function<bool()>& stop) {
   while (now_ps_ < max_time_ps) {
     if (stop && stop()) break;
+    // Peek the upcoming instant so no edge past the bound ever executes; an
+    // edge landing exactly on the bound still runs.
+    const Picos t = nextEdgeTime();
+    if (t == kNever || t > max_time_ps) break;
     if (!step()) break;
   }
   return now_ps_;
@@ -103,17 +179,15 @@ Picos Simulator::runUntilIdle(Picos max_time_ps) {
   constexpr int kQuiesceEdges = 8;
   int idle_streak = 0;
   Picos last_active = now_ps_;
-  auto comps = allComponents();
+  refreshIdleScan();
+  // Already quiescent on entry: report the current time as the last-active
+  // instant and execute nothing (previously the loop burned the full quiesce
+  // streak of edges, advancing time and stats on an idle platform).
+  if (allIdle()) return last_active;
   while (now_ps_ < max_time_ps) {
     if (!step()) break;
-    bool all_idle = true;
-    for (Component* c : comps) {
-      if (!c->idle()) {
-        all_idle = false;
-        break;
-      }
-    }
-    if (all_idle) {
+    if (idle_scan_generation_ != component_generation_) refreshIdleScan();
+    if (allIdle()) {
       if (++idle_streak >= kQuiesceEdges) break;
     } else {
       idle_streak = 0;
@@ -121,6 +195,32 @@ Picos Simulator::runUntilIdle(Picos max_time_ps) {
     }
   }
   return last_active;
+}
+
+void Simulator::refreshIdleScan() {
+  idle_scan_ = allComponents();
+  idle_scan_generation_ = component_generation_;
+}
+
+bool Simulator::allIdle() const {
+  for (Component* c : idle_scan_) {
+    // sleep() is only legal while idle(), so a sleeping component is idle by
+    // contract — no need to poll it.
+    if (c->asleep()) continue;
+    if (!c->idle()) return false;
+  }
+  return true;
+}
+
+bool Simulator::anyComponentBusy(const Component* exclude) const {
+  if (asleep_count_ >= component_count_) return false;
+  for (const auto& d : domains_) {
+    for (const Component* c : d->components()) {
+      if (c == exclude || c->asleep()) continue;
+      if (!c->idle()) return true;
+    }
+  }
+  return false;
 }
 
 void Simulator::finish() {

@@ -11,6 +11,12 @@
 // This two-phase discipline makes results independent of component
 // registration order and is the custom-kernel equivalent of the SystemC
 // delta-cycle semantics the paper's virtual platform relies on.
+//
+// The edge loop is activity-driven: the next-edge instants are kept in a
+// cached schedule (domains grouped by coincident instant, rebuilt only when a
+// domain is added), and components that declared themselves quiescent via the
+// sleep()/wake() protocol are skipped during evaluate and counted idle
+// without polling.  See DESIGN.md "Kernel".
 
 #include <functional>
 #include <memory>
@@ -34,7 +40,10 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  /// Create (and own) a clock domain.  `mhz` need not be integral.
+  /// Create (and own) a clock domain.  `mhz` need not be integral.  A domain
+  /// added while the simulation is already running gets its first edge at the
+  /// next multiple of its period after now() (same grid it would occupy had
+  /// it existed from t=0).
   ClockDomain& addClockDomain(const std::string& name, double mhz);
 
   /// Current global time.  During an edge this is the instant of that edge.
@@ -48,6 +57,23 @@ class Simulator {
   /// Current position within the two-phase edge protocol.
   Phase phase() const { return phase_; }
 
+  /// Activity gating (default on): components that called sleep() are skipped
+  /// during evaluate.  The sleep contract (only legal while idle()) makes
+  /// gating behaviour-neutral; switching it off re-evaluates every component
+  /// on every edge and must produce bit-identical results — the equivalence
+  /// tests and the check.sh kernel-perf smoke assert exactly that.
+  void setActivityGating(bool on) { activity_gating_ = on; }
+  bool activityGating() const { return activity_gating_; }
+
+  /// Number of components currently asleep / registered (activity counters).
+  std::size_t asleepComponents() const { return asleep_count_; }
+  std::size_t totalComponents() const { return component_count_; }
+
+  /// True when some component other than `exclude` is awake and non-idle.
+  /// O(1) when everything sleeps; otherwise scans only awake components.
+  /// Watchdogs use this as their "system still busy" test.
+  bool anyComponentBusy(const Component* exclude = nullptr) const;
+
   /// Deep-check mode: after the evaluate phase of every edge the kernel
   /// digests all staged state, rolls it back, re-runs evaluate with component
   /// order *reversed*, and raises InvariantViolation if the second pass stages
@@ -55,7 +81,10 @@ class Simulator {
   /// that would break the determinism guarantee.  Replay engages only when
   /// every component on the edge implements saveState()/restoreState() and
   /// every Updatable supports rollback; otherwise the kernel still digests and
-  /// runs per-edge structural invariant checks.  Expensive; off by default.
+  /// runs per-edge structural invariant checks.  The replay pass evaluates
+  /// sleeping components too, so a component that slept while it still had
+  /// work to stage is caught as a forward/replay divergence.  Expensive; off
+  /// by default.
   void setDeepCheck(bool on) { deep_check_ = on; }
   bool deepCheck() const { return deep_check_; }
 
@@ -69,13 +98,19 @@ class Simulator {
   bool step();
 
   /// Run until `max_time_ps` (absolute) or until `stop` returns true (checked
-  /// between edges).  Returns the final time.
+  /// between edges).  No edge past `max_time_ps` is executed: the upcoming
+  /// edge instant is peeked first, and the loop stops when it would exceed
+  /// the bound (an edge landing exactly on the bound still runs).  Returns
+  /// the final time — the instant of the last executed edge, <= max_time_ps.
   Picos run(Picos max_time_ps,
             const std::function<bool()>& stop = nullptr);
 
   /// Run until every registered component reports idle() for
   /// `quiesce_edges` consecutive edge instants, or until max_time_ps.
   /// Returns the time of the last non-idle edge (the execution time).
+  /// If the platform is already quiescent on entry, returns now() without
+  /// executing any edge.  Components registered while the loop runs (mid-run
+  /// construction) are picked up and idle-polled from their first edge.
   Picos runUntilIdle(Picos max_time_ps);
 
   /// Invoke endOfSimulation() on every component exactly once.
@@ -88,9 +123,30 @@ class Simulator {
   /// All components across all domains (for idle checks / finish hooks).
   std::vector<Component*> allComponents() const;
 
+  // --- kernel bookkeeping (called by ClockDomain / Component) ---------------
+
+  void noteComponentAdded(Component* c);
+  void noteComponentRemoved(Component* c);
+  void noteSleep() { ++asleep_count_; }
+  void noteWake() { --asleep_count_; }
+
  private:
+  /// One instant of the cached edge schedule: every domain whose next edge
+  /// falls on `t`, in domain registration order.  schedule_ is kept sorted by
+  /// t descending, so back() is always the soonest instant.
+  struct EdgeSlot {
+    Picos t = 0;
+    std::vector<ClockDomain*> domains;
+  };
+
   void deepCheckEdge(const std::vector<ClockDomain*>& edge_domains,
                      bool replayable);
+  /// Time of the next edge instant, without executing it.
+  Picos nextEdgeTime();
+  void rebuildSchedule();
+  void scheduleDomain(ClockDomain* d);
+  void refreshIdleScan();
+  bool allIdle() const;
 
   std::vector<std::unique_ptr<ClockDomain>> domains_;
   Picos now_ps_ = 0;
@@ -99,6 +155,24 @@ class Simulator {
   bool deep_check_ = false;
   bool in_replay_ = false;
   bool finished_ = false;
+  bool activity_gating_ = true;
+
+  // Cached coincident-edge schedule (multi-domain path; a single domain short
+  // circuits it).  slot_pool_ recycles slot vectors so the steady-state edge
+  // loop performs no allocation.
+  std::vector<EdgeSlot> schedule_;
+  std::vector<std::vector<ClockDomain*>> slot_pool_;
+  std::vector<ClockDomain*> edge_scratch_;
+  bool schedule_valid_ = false;
+
+  // Activity bookkeeping.
+  std::size_t component_count_ = 0;
+  std::size_t asleep_count_ = 0;
+  /// Bumped on every component registration/removal; consumers holding a
+  /// component list (runUntilIdle's idle-scan cache) re-derive it on change.
+  std::uint64_t component_generation_ = 0;
+  std::vector<Component*> idle_scan_;
+  std::uint64_t idle_scan_generation_ = ~0ULL;
 };
 
 }  // namespace mpsoc::sim

@@ -28,7 +28,8 @@ class Watchdog final : public Component {
   Watchdog(ClockDomain& clk, std::string name, ProgressFn progress,
            Cycle check_interval = 10'000)
       : Component(clk, std::move(name)), progress_(std::move(progress)),
-        interval_(check_interval ? check_interval : 1) {}
+        interval_(check_interval ? check_interval : 1),
+        last_progress_(progress_()) {}
 
   void setAlarm(AlarmFn alarm) { alarm_ = std::move(alarm); }
 
@@ -40,18 +41,12 @@ class Watchdog final : public Component {
     if (now() % interval_ != 0) return;
     ++checks_;
     const std::uint64_t p = progress_();
-    if (checks_ > 1 && p == last_progress_) {
-      // No progress over a whole interval: is anything still busy?
-      bool busy = false;
-      for (const auto& d : clk_.simulator().domains()) {
-        for (const Component* c : d->components()) {
-          if (c != this && !c->idle()) {
-            busy = true;
-            break;
-          }
-        }
-        if (busy) break;
-      }
+    // The baseline is taken at construction, so a stall spanning only the
+    // first interval is reported too (an unprimed baseline used to swallow
+    // it).  The busy test rides the kernel's activity counters: O(1) when
+    // everything sleeps, and only awake components are polled otherwise.
+    if (p == last_progress_) {
+      const bool busy = clk_.simulator().anyComponentBusy(this);
       if (busy && !fired_) {
         fired_ = true;
         const std::string msg =

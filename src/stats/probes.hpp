@@ -82,14 +82,18 @@ class FifoStateProbe {
   };
 
   /// Attach to a FIFO.  `phases` may be null (everything lands in the total).
+  /// One probe observes one FIFO (the observer context is this probe).
   template <typename T>
   void attach(sim::SyncFifo<T>& fifo, const PhaseSchedule* phases = nullptr) {
     phases_ = phases;
     if (phases_) per_phase_.resize(phases_->count());
-    sim::ClockDomain* clk = &fifo.clk();
-    fifo.setObserver([this, clk](const sim::FifoEdgeInfo& info) {
-      onEdge(info, clk->simulator().now());
-    });
+    clk_dom_ = &fifo.clk();
+    fifo.setObserver(
+        [](void* ctx, const sim::FifoEdgeInfo& info) {
+          auto* self = static_cast<FifoStateProbe*>(ctx);
+          self->onEdge(info, self->clk_dom_->simulator().now());
+        },
+        this);
   }
 
   const Buckets& total() const { return total_; }
@@ -119,6 +123,7 @@ class FifoStateProbe {
   }
 
   const PhaseSchedule* phases_ = nullptr;
+  sim::ClockDomain* clk_dom_ = nullptr;
   Buckets total_;
   std::vector<Buckets> per_phase_;
 };

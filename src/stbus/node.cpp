@@ -49,6 +49,10 @@ void StbusNode::evaluate() {
   // free (Section 4.1.2).
   responsePath();
   requestPath();
+  // Fully drained (no streams, nothing inflight, all request queues empty):
+  // quiesce until a port push wakes us (wired in addInitiator/addTarget).
+  // The O(1) inflight test keeps the full idle() scan off busy cycles.
+  if (!anyInflight() && idle()) sleep();
 }
 
 bool StbusNode::idle() const {

@@ -30,6 +30,9 @@ class InterconnectBase : public sim::Component {
   /// Register a master-side port.  Returns its initiator index.
   std::size_t addInitiator(InitiatorPort& p) {
     initiators_.push_back(&p);
+    // Activity protocol: a request arriving on any initiator port is a wake
+    // event for the engine (it may have slept with all queues drained).
+    p.req.wakeOnPush(this);
     return initiators_.size() - 1;
   }
 
@@ -38,6 +41,8 @@ class InterconnectBase : public sim::Component {
   std::size_t addTarget(TargetPort& p, std::uint64_t base, std::uint64_t size) {
     targets_.push_back(&p);
     amap_.add(base, size, targets_.size() - 1);
+    // A response surfacing on a target port must wake the engine too.
+    p.rsp.wakeOnPush(this);
     return targets_.size() - 1;
   }
 

@@ -344,7 +344,11 @@ TEST(FifoAccounting, MixedOooAndInOrderPopsStayConsistent) {
   auto& clk = s.addClockDomain("clk", 100.0);
   sim::SyncFifo<int> f(clk, "lmi.req", 2);
   std::vector<sim::FifoEdgeInfo> infos;
-  f.setObserver([&](const sim::FifoEdgeInfo& i) { infos.push_back(i); });
+  f.setObserver(
+      [](void* ctx, const sim::FifoEdgeInfo& i) {
+        static_cast<std::vector<sim::FifoEdgeInfo>*>(ctx)->push_back(i);
+      },
+      &infos);
   MixedPopDriver d(clk, f);
   s.run(40'000);  // 4 edges
   ASSERT_GE(infos.size(), 3u);

@@ -254,7 +254,11 @@ TEST(SyncFifo, ObserverReportsEdgeInfo) {
   sim::SyncFifo<int> f(clk, "f", 2);
 
   std::vector<sim::FifoEdgeInfo> infos;
-  f.setObserver([&](const sim::FifoEdgeInfo& i) { infos.push_back(i); });
+  f.setObserver(
+      [](void* ctx, const sim::FifoEdgeInfo& i) {
+        static_cast<std::vector<sim::FifoEdgeInfo>*>(ctx)->push_back(i);
+      },
+      &infos);
 
   struct Driver : sim::Component {
     sim::SyncFifo<int>& f;

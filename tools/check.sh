@@ -85,6 +85,58 @@ else
   FAILED=1
 fi
 
+stage "kernel-perf smoke (activity gating on vs off digest compare)"
+# The Fig. 3 full-platform instance at reduced workload scale, run twice:
+# once with the default activity-gated kernel and once with --no-gating
+# (every component evaluated on every edge).  Gating is behaviour-neutral by
+# contract, so the two canonical digests must be identical; a mismatch means
+# some component slept while it still had work to stage.  The gated run's
+# throughput is recorded in BENCH_kernel.json (note: sanitizer build — the
+# committed repo-root BENCH_kernel.json is measured on a Release build).
+mkdir -p "$BUILD/kernel-smoke"
+cat > "$BUILD/kernel-smoke/fig3-small.scn" <<EOF
+name = fig3-small
+protocol = stbus
+topology = full
+memory = onchip
+wait_states = 1
+workload_scale = 0.25
+EOF
+if "$BUILD/tools/mpsoc_run" --sweep --json "$BUILD/kernel-smoke/gated.json" \
+      "$BUILD/kernel-smoke/fig3-small.scn" > /dev/null && \
+   "$BUILD/tools/mpsoc_run" --sweep --no-gating \
+      --json "$BUILD/kernel-smoke/ungated.json" \
+      "$BUILD/kernel-smoke/fig3-small.scn" > /dev/null; then
+  DG="$(grep -o '"digest": "[0-9a-f]*"' "$BUILD/kernel-smoke/gated.json")"
+  DU="$(grep -o '"digest": "[0-9a-f]*"' "$BUILD/kernel-smoke/ungated.json")"
+  if [ -z "$DG" ] || [ "$DG" != "$DU" ]; then
+    echo "kernel smoke: gated and ungated digests differ (activity gating"
+    echo "must be behaviour-neutral; a component slept with work pending)"
+    diff <(echo "$DG") <(echo "$DU")
+    FAILED=1
+  else
+    EG="$(grep -o '"sim_edges_per_s": [0-9.e+-]*' \
+          "$BUILD/kernel-smoke/gated.json" | head -1 | sed 's/.*: //')"
+    EU="$(grep -o '"sim_edges_per_s": [0-9.e+-]*' \
+          "$BUILD/kernel-smoke/ungated.json" | head -1 | sed 's/.*: //')"
+    cat > "$BUILD/BENCH_kernel.json" <<EOF
+{
+  "schema": "mpsoc-bench-kernel-v1",
+  "build": "sanitizer-smoke",
+  "scenario": "fig3-small (full-stbus, onchip, workload_scale 0.25)",
+  "digest": ${DG#*: },
+  "gated_edges_per_s": ${EG:-0},
+  "ungated_edges_per_s": ${EU:-0}
+}
+EOF
+    echo "kernel smoke: digests identical with activity gating on and off"
+    echo "wrote $BUILD/BENCH_kernel.json"
+  fi
+else
+  echo "kernel smoke: mpsoc_run failed"
+  FAILED=1
+fi
+
 stage "clang-format --dry-run"
 if command -v clang-format >/dev/null 2>&1; then
   if ! find "$ROOT/src" "$ROOT/tests" "$ROOT/tools" \

@@ -29,6 +29,13 @@
 //                       txn/ports.hpp creates a transaction channel the
 //                       monitors cannot see; transactions must travel through
 //                       InitiatorPort/TargetPort bundles.
+//   idle-busy-poll      an evaluate() body that polls a FIFO for data
+//                       (.empty()/.canPop()) in a file that neither overrides
+//                       idle() nor ever calls sleep() busy-spins the kernel:
+//                       runUntilIdle() cannot see the component's emptiness
+//                       and activity gating can never skip it.  Components
+//                       that wait on input must participate in the idle /
+//                       sleep protocol (sim/component.hpp).
 //   shared-static       mutable `static` storage in simulation code is state
 //                       shared across concurrently-running simulations — the
 //                       sweep engine (core/sweep.hpp) runs one simulation per
@@ -164,6 +171,15 @@ class FileLinter {
         has_attach_monitors_ = true;
       }
       checkLine(code, comment, lineno);
+    }
+    if (first_poll_line_ != 0 && !has_idle_or_sleep_ &&
+        !poll_rule_suppressed_) {
+      report(first_poll_line_, "idle-busy-poll",
+             "evaluate() polls a FIFO for data but this file neither "
+             "overrides idle() nor calls sleep(); a component waiting on "
+             "input must report idle (so runUntilIdle() can stop) and should "
+             "sleep on empty (so activity gating can skip it) — see "
+             "sim/component.hpp");
     }
     if (first_component_line_ != 0 && !has_attach_monitors_ &&
         !monitor_rule_suppressed_) {
@@ -332,6 +348,26 @@ class FileLinter {
       }
     }
 
+    // idle-busy-poll: FIFO data polls inside evaluate() bodies.  The verdict
+    // is issued at end of file, once it is known whether the file overrides
+    // idle() or calls sleep() anywhere (both count as participating in the
+    // activity protocol).
+    if (kernel_code_) {
+      static const std::regex idle_or_sleep(
+          R"(\bidle\s*\(\s*\)|\bsleep\s*\(\s*\))");
+      if (std::regex_search(code, idle_or_sleep)) has_idle_or_sleep_ = true;
+      if (evaluate_depth_ > 0 && first_poll_line_ == 0) {
+        static const std::regex poll(
+            R"((?:\.|->)(?:empty|canPop)\s*\(\s*[0-9a-zA-Z_]*\s*\))");
+        if (std::regex_search(code, poll)) {
+          if (suppressed(comment, "idle-busy-poll")) {
+            poll_rule_suppressed_ = true;
+          }
+          first_poll_line_ = lineno;
+        }
+      }
+    }
+
     // commit-in-evaluate: explicit commit() calls inside evaluate() bodies.
     if (evaluate_depth_ > 0 && !suppressed(comment, "commit-in-evaluate")) {
       static const std::regex commit_call(R"((?:\.|->)commit\s*\(\s*\))");
@@ -351,6 +387,9 @@ class FileLinter {
   bool monitor_rule_suppressed_ = false;
   std::size_t first_component_line_ = 0;
   std::string first_component_name_;
+  std::size_t first_poll_line_ = 0;
+  bool has_idle_or_sleep_ = false;
+  bool poll_rule_suppressed_ = false;
   std::vector<Finding> findings_;
   std::set<std::string> unordered_names_;
   bool in_evaluate_ = false;

@@ -10,6 +10,9 @@
 //   --verify        attach the protocol monitors and transaction auditor
 //                   (src/verify) to every platform; a violation aborts with
 //                   exit code 1
+//   --no-gating     disable kernel activity gating (evaluate every component
+//                   on every edge).  Digests must not change — the check.sh
+//                   kernel-perf smoke diffs gated vs. ungated runs with this
 //   --sweep         print the sweep view: per-point wall-clock, simulation
 //                   throughput (Medges/s) and canonical result digest
 //   -j N            run N scenarios concurrently (0 = one per hardware
@@ -39,7 +42,8 @@ namespace {
 
 void usage() {
   std::cerr << "usage: mpsoc_run [--csv] [--json <path|->] [--normalize N] "
-               "[--verify] [--sweep] [-j N] scenario.scn [...]\n";
+               "[--verify] [--no-gating] [--sweep] [-j N] scenario.scn "
+               "[...]\n";
 }
 
 }  // namespace
@@ -48,6 +52,7 @@ int main(int argc, char** argv) {
   bool want_csv = false;
   bool want_sweep = false;
   bool want_verify = false;
+  bool no_gating = false;
   std::string json_path;
   std::size_t normalize_to = 0;
   unsigned jobs = 1;
@@ -60,6 +65,8 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       want_verify = true;
+    } else if (std::strcmp(argv[i], "--no-gating") == 0) {
+      no_gating = true;
     } else if (std::strcmp(argv[i], "--sweep") == 0) {
       want_sweep = true;
     } else if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc) {
@@ -88,6 +95,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (want_verify) sc.config.verify = true;
+    if (no_gating) sc.config.activity_gating = false;
     points.push_back(core::SweepPoint{sc.name, sc.config, 0});
   }
 
