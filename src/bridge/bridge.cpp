@@ -51,12 +51,15 @@ class Bridge::SlaveSide final : public sim::Component {
       : sim::Component(clk, b.name() + ".A"), b_(b) {}
   void evaluate() override {
     b_.slaveEvaluate();
-    // Whole bridge drained (both CDC FIFOs structurally empty — see the
-    // AsyncFifo wake caveat — and side B quiet): quiesce until a_port_.req
-    // or bwd_ push wakes us (wired in the Bridge constructor).
-    if (b_.idle()) sleep();
+    // Side A drained (bwd_ structurally empty — see the AsyncFifo wake
+    // caveat): quiesce until a_port_.req or bwd_ push wakes us (wired in
+    // the Bridge constructor).  Deliberately side-local: reading the master
+    // side's queues here would race with its lane under the sharded kernel,
+    // and work still in flight towards side B keeps the *master* awake and
+    // non-idle instead.
+    if (b_.slaveIdle()) sleep();
   }
-  bool idle() const override { return b_.idle(); }
+  bool idle() const override { return b_.slaveIdle(); }
 
  private:
   Bridge& b_;
@@ -88,10 +91,11 @@ class Bridge::MasterSide final : public txn::MasterBase {
     // Issue at most one side-B transaction per cycle.
     if (staged_.empty()) {
       // Nothing staged, buffered or outstanding, and the forward CDC FIFO is
-      // structurally empty (sizeIgnoringSync, not canPop: the push wake fires
-      // a sync delay before readability, so a committed-but-invisible item
-      // must keep us awake).  Quiesce until fwd_ or b_port_.rsp push.
-      if (idle() && b_.fwd_.sizeIgnoringSync() == 0) sleep();
+      // structurally empty (the fwd_ term inside idle() uses
+      // sizeIgnoringSync, not canPop: the push wake fires a sync delay
+      // before readability, so a committed-but-invisible item must keep us
+      // awake).  Quiesce until fwd_ or b_port_.rsp push.
+      if (idle()) sleep();
       return;
     }
     if (clk_.simulator().now() < staged_.front().ready_at) return;
@@ -121,7 +125,14 @@ class Bridge::MasterSide final : public txn::MasterBase {
   }
 
   bool idle() const override {
-    return staged_.empty() && done_.empty() && outstanding() == 0;
+    // fwd_'s structural occupancy is master-side state for idleness
+    // purposes: the master is fwd_'s consumer (reading committed occupancy
+    // is race-free on its lane), and counting in-flight crossings here keeps
+    // runUntilIdle from declaring the platform quiescent while an item sits
+    // in the synchroniser — coverage the bridge-wide predicate used to
+    // provide before it was split side-local.
+    return staged_.empty() && done_.empty() && outstanding() == 0 &&
+           b_.fwd_.sizeIgnoringSync() == 0;
   }
 
  protected:
@@ -177,6 +188,11 @@ void Bridge::attachMonitors(verify::VerifyContext& ctx) {
 
 void Bridge::setAuditor(txn::TxnAuditor* auditor) {
   master_side_->setAuditor(auditor);
+}
+
+void Bridge::setEvalLanes(std::uint32_t lane_a, std::uint32_t lane_b) {
+  slave_side_->setEvalLane(lane_a);
+  master_side_->setEvalLane(lane_b);
 }
 
 void Bridge::slaveEvaluate() {
@@ -272,10 +288,18 @@ void Bridge::slaveEvaluate() {
   }
 }
 
-bool Bridge::idle() const {
+bool Bridge::slaveIdle() const {
+  // Side-A-local: everything read here is mutated only by the slave side's
+  // own evaluate (staged_a_/pending_/acks_), by its own pops (a_port_.req,
+  // bwd_ consumer counters) or at commit time (bwd_ committed occupancy) —
+  // never by the master side mid-edge, so the sharded kernel may evaluate
+  // the two sides concurrently.  An item in flight towards side B is covered
+  // by the master side: fwd_'s structural occupancy folds into
+  // MasterSide::idle().
   return staged_a_.empty() && pending_.empty() && acks_.empty() &&
-         fwd_.sizeIgnoringSync() == 0 && bwd_.sizeIgnoringSync() == 0 &&
-         a_port_.req.empty() && master_side_->idle();
+         bwd_.sizeIgnoringSync() == 0 && a_port_.req.empty();
 }
+
+bool Bridge::idle() const { return slaveIdle() && master_side_->idle(); }
 
 }  // namespace mpsoc::bridge

@@ -98,6 +98,11 @@ class Bridge {
 
   bool idle() const;  // plain method; Bridge is not a Component  // mpsoc-lint: allow(missing-override)
 
+  /// Shard-lane assignment for the two sides (side A evaluates in clk_a's
+  /// domain, side B in clk_b's).  The sides share no mid-edge mutable state
+  /// (see slaveIdle()), so they may land on different lanes.
+  void setEvalLanes(std::uint32_t lane_a, std::uint32_t lane_b);
+
  private:
   /// A read accepted on side A, awaiting its side-B data.
   struct PendingRead {
@@ -115,6 +120,8 @@ class Bridge {
   class MasterSide;
 
   void slaveEvaluate();
+  /// Side-A-local idleness (never reads master-side state mid-edge).
+  bool slaveIdle() const;
 
   std::string name_;
   BridgeConfig cfg_;

@@ -107,6 +107,14 @@ struct PlatformConfig {
   /// anything (with it OFF this flag only creates an empty context).
   bool verify = false;
 
+  /// Worker threads for the kernel's sharded evaluate phase (see
+  /// Simulator::setKernelThreads): 1 = serial kernel (default), N > 1 =
+  /// evaluate shards concurrently on a kernel-resident pool, 0 = one thread
+  /// per hardware core.  Digests are bit-identical across values by
+  /// construction — commit stays single-threaded in slot order — which the
+  /// sharding tests and the check.sh kernel-perf smoke both assert.
+  unsigned kernel_threads = 1;
+
   /// Kernel activity gating (see Simulator::setActivityGating): skip
   /// evaluate() for components that declared themselves quiescent.  On by
   /// default; behaviour-neutral by contract (sleep is only legal while

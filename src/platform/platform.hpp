@@ -121,6 +121,11 @@ class Platform {
   /// Walk every bus, bridge, memory and master, attaching monitors and the
   /// conservation auditor to `verify_`.  Called once, after construction.
   void attachVerification();
+  /// Partition the platform into evaluate-phase shard lanes for the
+  /// multi-threaded kernel (see Simulator::setKernelThreads).  Components
+  /// that pop each other's FIFOs out of order mid-edge are co-sharded;
+  /// everything else gets its own lane.  Called once, after construction.
+  void assignEvalLanes();
 
   PlatformConfig cfg_;
   sim::Simulator sim_;

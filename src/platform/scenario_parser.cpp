@@ -132,6 +132,8 @@ NamedScenario parseScenario(const std::string& text) {
       cfg.two_phase_workload = parseBool(val, line_no);
     } else if (key == "seed") {
       cfg.seed = parseU64(val, line_no);
+    } else if (key == "kernel_threads") {
+      cfg.kernel_threads = static_cast<unsigned>(parseU64(val, line_no));
     } else {
       fail(line_no, "unknown scenario option '" + key + "'");
     }

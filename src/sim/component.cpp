@@ -18,17 +18,23 @@ Component::~Component() {
 }
 
 void Component::sleep() {
-  if (asleep_) return;
+  // Only the component itself may sleep (from its own evaluate()), so a
+  // relaxed read-then-store is race-free; the atomic store is for concurrent
+  // asleep() readers on other lanes.
+  if (asleep_.load(std::memory_order_relaxed)) return;
   SIM_CHECK_CTX(idle(), name_, &clk_,
                 "sleep() while not idle: a component may only declare itself "
                 "quiescent when it has no pending work");
-  asleep_ = true;
+  asleep_.store(true, std::memory_order_relaxed);
   clk_.simulator().noteSleep();
 }
 
 void Component::wake() {
-  if (!asleep_) return;
-  asleep_ = false;
+  // wake() may be called concurrently from another lane (a programming
+  // interface such as DmaEngine::program) as well as from commit-time FIFO
+  // hooks; the exchange makes racing wakes count exactly once against the
+  // kernel's asleep counter.
+  if (!asleep_.exchange(false, std::memory_order_relaxed)) return;
   clk_.simulator().noteWake();
 }
 

@@ -2,12 +2,24 @@
 // Base class for everything with per-cycle behaviour (traffic generators,
 // interconnect engines, memories, bridges, processors).
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 
 #include "sim/clock.hpp"
 #include "sim/time.hpp"
 
 namespace mpsoc::sim {
+
+/// Evaluate-lane key: components with the same key evaluate on the same
+/// worker thread (in registration order) when the kernel runs sharded.  The
+/// default, kAutoEvalLane, groups a component with every other component of
+/// its clock domain — always safe, because cross-domain interaction flows
+/// exclusively through AsyncFifo crossings whose producer/consumer state is
+/// disjoint.  Platforms opt into finer lanes (per traffic generator, per
+/// bridge side) where the topology proves independence; see DESIGN.md
+/// "Kernel hot path".
+inline constexpr std::uint32_t kAutoEvalLane = 0xffffffffu;
 
 class Component {
  public:
@@ -53,8 +65,11 @@ class Component {
   // provably no-op evaluations.  Deep-check replay re-evaluates sleeping
   // components and flags any that would have staged work.
 
-  /// True while this component has declared itself quiescent.
-  bool asleep() const { return asleep_; }
+  /// True while this component has declared itself quiescent.  Relaxed load:
+  /// under the sharded kernel the flag may be read by one worker while a
+  /// commit-time or cross-component wake clears it; any interleaving is
+  /// behaviour-neutral because sleep() is only legal while idle().
+  bool asleep() const { return asleep_.load(std::memory_order_relaxed); }
 
   /// Clear the quiescent flag; the kernel resumes evaluating this component
   /// from the next edge (or this edge, if called during its evaluate phase
@@ -66,6 +81,20 @@ class Component {
   Cycle now() const { return clk_.now(); }
   const std::string& name() const { return name_; }
 
+  // --- sharded-evaluate protocol --------------------------------------------
+
+  /// Assign this component to an explicit evaluate lane (see kAutoEvalLane).
+  /// Callers guarantee that components in *different* lanes never touch each
+  /// other's evaluate-phase state except through opposite ends of a FIFO.
+  void setEvalLane(std::uint32_t lane) { eval_lane_ = lane; }
+  std::uint32_t evalLane() const { return eval_lane_; }
+
+  /// Components that inspect *other* components during evaluate() (the
+  /// progress watchdog scans every component's idle state) cannot join any
+  /// concurrent lane; the kernel evaluates them on the main thread after the
+  /// parallel lanes of the edge have completed.
+  virtual bool serialEvaluate() const { return false; }
+
  protected:
   /// Declare this component quiescent.  Only legal while idle() holds.
   void sleep();
@@ -74,7 +103,8 @@ class Component {
   std::string name_;
 
  private:
-  bool asleep_ = false;
+  std::atomic<bool> asleep_{false};
+  std::uint32_t eval_lane_ = kAutoEvalLane;
 };
 
 }  // namespace mpsoc::sim

@@ -1,0 +1,96 @@
+#include "sim/eval_pool.hpp"
+
+namespace mpsoc::sim {
+
+namespace {
+
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Spins before a worker falls back to a futex wait.  Sized so the gap
+/// between two parallel slots of a running simulation (hundreds of ns to a
+/// few µs) is always bridged by spinning, while a simulator sitting between
+/// runs parks its workers within ~50 µs.
+constexpr int kSpinBudget = 20'000;
+
+}  // namespace
+
+EvalPool::EvalPool(unsigned workers) {
+  threads_.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+EvalPool::~EvalPool() {
+  stop_.store(true, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void EvalPool::run(const Job& job) {
+  job_ = job;
+  done_.store(0, std::memory_order_relaxed);
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  const std::uint32_t epoch32 = static_cast<std::uint32_t>(epoch);
+  // Ticket before epoch: a worker that wakes on the epoch bump must see the
+  // ticket of *this* dispatch, not the exhausted one before it.
+  ticket_.store((static_cast<std::uint64_t>(epoch32) << 32) |
+                    static_cast<std::uint32_t>(job.lanes),
+                std::memory_order_release);
+  epoch_.store(epoch, std::memory_order_release);
+  if (waiters_.load(std::memory_order_seq_cst) != 0) epoch_.notify_all();
+
+  drainLanes(epoch32);
+
+  // Lane completion is counted after run_lane returns, so done_ == lanes
+  // proves every lane finished; acquire pairs with the workers' releases so
+  // all lane effects are visible to the (single-threaded) commit phase.
+  while (done_.load(std::memory_order_acquire) != job.lanes) cpuRelax();
+}
+
+void EvalPool::drainLanes(std::uint32_t epoch32) {
+  for (;;) {
+    std::uint64_t t = ticket_.load(std::memory_order_acquire);
+    // Stale epoch (this thread slept into a later dispatch) or no lanes
+    // left: retreat without touching job_, which may be getting rewritten.
+    if (static_cast<std::uint32_t>(t >> 32) != epoch32) return;
+    const std::uint32_t remaining = static_cast<std::uint32_t>(t);
+    if (remaining == 0) return;
+    if (!ticket_.compare_exchange_weak(t, t - 1, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+      continue;
+    }
+    job_.run_lane(job_.ctx, remaining - 1);
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void EvalPool::workerLoop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    int spins = 0;
+    while (epoch_.load(std::memory_order_acquire) == seen) {
+      if (++spins < kSpinBudget) {
+        cpuRelax();
+      } else {
+        waiters_.fetch_add(1, std::memory_order_seq_cst);
+        epoch_.wait(seen, std::memory_order_acquire);
+        waiters_.fetch_sub(1, std::memory_order_seq_cst);
+      }
+    }
+    if (stop_.load(std::memory_order_relaxed)) return;
+    seen = epoch_.load(std::memory_order_acquire);
+    drainLanes(static_cast<std::uint32_t>(seen));
+  }
+}
+
+}  // namespace mpsoc::sim

@@ -1,0 +1,76 @@
+#pragma once
+// Kernel-resident worker pool for the sharded evaluate phase.
+//
+// The sweep engine's pool (src/core/sweep.cpp) spawns threads per call —
+// fine at scenario granularity, hopeless at edge granularity where the
+// average unit of work is a few hundred nanoseconds.  EvalPool keeps its
+// workers alive for the lifetime of the Simulator and hands them one *job*
+// (a set of independent lanes) per coincident-edge slot:
+//
+//   * dispatch publishes the job and bumps an epoch; parked workers spin on
+//     the epoch (with a futex fallback after a spin budget, so an idle
+//     simulator does not burn cores between rare parallel slots);
+//   * lanes are claimed through a single epoch-tagged ticket word — a CAS
+//     down-counter whose upper half carries the dispatch epoch.  A worker
+//     that was descheduled mid-claim and wakes into a later dispatch fails
+//     the epoch comparison and retreats without ever reading the (by then
+//     rewritten) job descriptor, which is what makes re-dispatch safe
+//     without waiting for every worker to check in;
+//   * the caller participates in lane execution and returns only when the
+//     completion counter matches the lane count, so all lane work
+//     happens-before whatever the kernel does next (the commit phase).
+//
+// Which worker runs which lane is scheduling-dependent and deliberately
+// irrelevant: the kernel's evaluate phase is order-independent by contract
+// (enforced by deep-check replay), and per-lane result buffers are indexed
+// by lane, never by worker.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace mpsoc::sim {
+
+class EvalPool {
+ public:
+  struct Job {
+    void* ctx = nullptr;
+    void (*run_lane)(void* ctx, std::size_t lane) = nullptr;
+    std::size_t lanes = 0;
+  };
+
+  /// Spawn `workers` persistent threads (the dispatching thread is an
+  /// additional implicit worker, so a pool built for N-way evaluation takes
+  /// N - 1 here).
+  explicit EvalPool(unsigned workers);
+  ~EvalPool();
+
+  EvalPool(const EvalPool&) = delete;
+  EvalPool& operator=(const EvalPool&) = delete;
+
+  unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  /// Run job.run_lane(job.ctx, lane) for every lane in [0, job.lanes),
+  /// distributed over the pool plus the calling thread.  Returns when every
+  /// lane has completed.  Exceptions must be captured inside run_lane (the
+  /// kernel stores them per lane and rethrows deterministically).
+  void run(const Job& job);
+
+ private:
+  void workerLoop();
+  /// Claim and execute lanes of the current epoch until none remain.
+  void drainLanes(std::uint32_t epoch32);
+
+  Job job_;
+  /// (epoch << 32) | lanes_remaining.  See file comment.
+  std::atomic<std::uint64_t> ticket_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::size_t> done_{0};
+  std::atomic<unsigned> waiters_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace mpsoc::sim

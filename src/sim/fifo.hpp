@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -308,7 +309,16 @@ class SyncFifo final : public Updatable {
 #if MPSOC_VERIFY
   void notifyTaps(const std::vector<Tap>& taps, const T& v) const {
     if (taps.empty() || clk_.simulator().inReplay()) return;
-    for (const auto& t : taps) t(v);
+    // Sharded kernel: a monitor may tap ports whose producer and consumer
+    // evaluate on different lanes (a bridge monitor watches both sides), so
+    // tap dispatch serializes on the simulator's tap mutex.  Serial kernel:
+    // tapMutex() is nullptr and monitored runs pay nothing extra.
+    if (std::mutex* mu = clk_.simulator().tapMutex()) {
+      std::lock_guard<std::mutex> lock(*mu);
+      for (const auto& t : taps) t(v);
+    } else {
+      for (const auto& t : taps) t(v);
+    }
   }
 #endif
 

@@ -62,6 +62,11 @@ class Watchdog final : public Component {
   /// The watchdog itself never keeps the simulation alive.
   bool idle() const override { return true; }
 
+  /// The busy test scans every other component's state, so the watchdog can
+  /// never share an edge with concurrently evaluating lanes; the sharded
+  /// kernel runs it on the main thread after the lane barrier.
+  bool serialEvaluate() const override { return true; }
+
  private:
   ProgressFn progress_;
   AlarmFn alarm_;

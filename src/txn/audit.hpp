@@ -17,6 +17,7 @@
 // with the interconnect inflight tables it cross-checks.
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -36,9 +37,18 @@ class TxnAuditor {
   /// Record a retirement (response delivered back to the issuing master).
   void onRetire(const sim::ClockDomain& clk, const Response& rsp);
 
-  std::uint64_t issued() const { return issued_; }
-  std::uint64_t retired() const { return retired_; }
-  std::size_t inFlight() const { return live_.size(); }
+  std::uint64_t issued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return issued_;
+  }
+  std::uint64_t retired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return retired_;
+  }
+  std::size_t inFlight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return live_.size();
+  }
 
   /// End-of-run audit.  When `expect_drained` is set (finite workloads run
   /// to completion) any still-live transaction is reported as a leak; for
@@ -53,6 +63,14 @@ class TxnAuditor {
     sim::Picos issued_ps = 0;
   };
 
+  /// Masters report from their evaluate(), which under the sharded kernel
+  /// runs on concurrent worker lanes; the ledger is one shared map, so every
+  /// hook serializes here.  Auditing is opt-in (--verify runs), so the
+  /// uncontended lock never taxes benchmark configurations.  Soundness does
+  /// not depend on same-edge arrival order: issue and retirement of one
+  /// transaction are separated by at least one commit, and the checks are
+  /// per-id.
+  mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, Live> live_;
   std::unordered_set<std::uint64_t> completed_;
   std::uint64_t issued_ = 0;

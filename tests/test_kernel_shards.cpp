@@ -1,0 +1,259 @@
+// Tests for the sharded evaluate phase (Simulator::setKernelThreads): the
+// kernel partitions components into shard lanes and evaluates them on a
+// persistent worker pool while commit stays single-threaded in slot order.
+// The contract under test is *bit-identical determinism*: every digest, every
+// timing result and every mid-run behaviour must be independent of the
+// thread count — 1 (serial kernel), 2, 4, oversubscribed, whatever.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/digest.hpp"
+#include "core/experiment.hpp"
+#include "platform/config.hpp"
+#include "sim/component.hpp"
+#include "sim/eval_pool.hpp"
+#include "sim/fifo.hpp"
+#include "sim/simulator.hpp"
+#include "verify/monitor.hpp"
+
+namespace {
+
+using namespace mpsoc;
+
+platform::PlatformConfig fig3Small() {
+  platform::PlatformConfig cfg;
+  cfg.protocol = platform::Protocol::Stbus;
+  cfg.topology = platform::Topology::Full;
+  cfg.memory = platform::MemoryKind::OnChip;
+  cfg.onchip_wait_states = 1;
+  cfg.workload_scale = 0.25;
+  return cfg;
+}
+
+platform::PlatformConfig collapsedAxiSmall() {
+  platform::PlatformConfig cfg;
+  cfg.protocol = platform::Protocol::Axi;
+  cfg.topology = platform::Topology::Collapsed;
+  cfg.memory = platform::MemoryKind::Lmi;
+  cfg.workload_scale = 0.25;
+  return cfg;
+}
+
+std::uint64_t digestAt(platform::PlatformConfig cfg, unsigned threads,
+                       const char* label) {
+  cfg.kernel_threads = threads;
+  return core::digestValue(core::runScenario(cfg, label));
+}
+
+// ---------------------------------------------------------------------------
+// Whole-platform determinism across thread counts
+// ---------------------------------------------------------------------------
+
+TEST(ShardDeterminism, DigestsIdenticalAcrossThreadCounts) {
+  // The full multi-layer STBus platform: five clock domains, per-IPTG and
+  // per-bus lanes, CDC bridges between them.  Any physical race or commit
+  // reordering in the sharded kernel shows up as a digest change.
+  const platform::PlatformConfig cfg = fig3Small();
+  const std::uint64_t serial = digestAt(cfg, 1, "fig3-small");
+  EXPECT_EQ(serial, digestAt(cfg, 2, "fig3-small"));
+  EXPECT_EQ(serial, digestAt(cfg, 4, "fig3-small"));
+}
+
+TEST(ShardDeterminism, UngatedDigestsIdentical) {
+  // Gating off evaluates every component on every edge — the densest lane
+  // occupancy the kernel can see — and must still match the serial gated run.
+  platform::PlatformConfig cfg = fig3Small();
+  const std::uint64_t gated_serial = digestAt(cfg, 1, "fig3-small");
+  cfg.activity_gating = false;
+  EXPECT_EQ(gated_serial, digestAt(cfg, 1, "fig3-small"));
+  EXPECT_EQ(gated_serial, digestAt(cfg, 4, "fig3-small"));
+}
+
+TEST(ShardDeterminism, CollapsedAxiDigestsIdentical) {
+  // The AXI platform exercises the other lane-assignment regime: the AXI bus
+  // pops initiator request FIFOs by identity, so every initiator co-shards
+  // with its bus and parallelism comes from the bus/memory split only.
+  const platform::PlatformConfig cfg = collapsedAxiSmall();
+  const std::uint64_t serial = digestAt(cfg, 1, "axi-small");
+  EXPECT_EQ(serial, digestAt(cfg, 2, "axi-small"));
+  EXPECT_EQ(serial, digestAt(cfg, 4, "axi-small"));
+}
+
+#if MPSOC_VERIFY
+TEST(ShardDeterminism, MonitoredRunDigestsIdentical) {
+  // With the protocol monitors attached, FIFO tap callbacks fire from worker
+  // lanes and serialize on the simulator's tap mutex; the auditor ledger
+  // locks internally.  Digests must match the unmonitored serial run, and no
+  // monitor may (falsely) report a violation.
+  platform::PlatformConfig cfg = fig3Small();
+  const std::uint64_t plain = digestAt(cfg, 1, "fig3-small");
+  cfg.verify = true;
+  EXPECT_EQ(plain, digestAt(cfg, 1, "fig3-small"));
+  EXPECT_EQ(plain, digestAt(cfg, 4, "fig3-small"));
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// Kernel-level behaviour at thread counts > 1
+// ---------------------------------------------------------------------------
+
+TEST(ShardKernel, MidRunRegistrationJoinsItsEdge) {
+  // A component constructed from a worker lane mid-edge (the spawner's
+  // evaluate runs on the pool) must be registered race-free and evaluated on
+  // its spawn edge by the kernel's catch-up pass — byte-identical timing to
+  // the serial kernel (see KernelRunUntilIdle.MidRunRegisteredComponentIsPolled).
+  struct Child : sim::Component {
+    using sim::Component::Component;
+    unsigned remaining = 20;
+    void evaluate() override {
+      if (remaining > 0) --remaining;
+    }
+    bool idle() const override { return remaining == 0; }
+  };
+  struct Spawner : sim::Component {
+    using sim::Component::Component;
+    std::unique_ptr<Child> child;
+    void evaluate() override {
+      if (now() == 5 && !child) child = std::make_unique<Child>(clk_, "child");
+    }
+    bool idle() const override { return child != nullptr; }
+  };
+  struct Bystander : sim::Component {
+    using sim::Component::Component;
+    void evaluate() override {}
+  };
+
+  auto run = [](unsigned threads) {
+    sim::Simulator s;
+    s.setKernelThreads(threads);
+    auto& clk = s.addClockDomain("clk", 100.0);  // 10 ns
+    Spawner sp(clk, "spawner");
+    Bystander by(clk, "bystander");
+    // Two explicit lanes so the slot actually dispatches to the pool.
+    sp.setEvalLane(0);
+    by.setEvalLane(1);
+    const sim::Picos last_active = s.runUntilIdle(10'000'000);
+    EXPECT_TRUE(sp.child);
+    EXPECT_EQ(sp.child ? sp.child->remaining : 1u, 0u);
+    return last_active;
+  };
+  const sim::Picos serial = run(1);
+  EXPECT_EQ(serial, 230'000u);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(4));
+}
+
+TEST(ShardKernel, DeepCheckForcesSerialAndPasses) {
+  // Deep-check replay re-evaluates whole domains and rolls staged state
+  // back; the kernel falls back to the serial path for it even when a pool
+  // exists.  A clean order-independent pipeline must stream identically.
+  struct Producer : sim::Component {
+    sim::SyncFifo<int>& f;
+    int next = 0;
+    int saved = 0;
+    Producer(sim::ClockDomain& c, sim::SyncFifo<int>& fifo)
+        : sim::Component(c, "prod"), f(fifo) {}
+    void evaluate() override {
+      if (f.canPush()) f.push(next++);
+    }
+    bool saveState() override {
+      saved = next;
+      return true;
+    }
+    void restoreState() override { next = saved; }
+  };
+  struct Consumer : sim::Component {
+    sim::SyncFifo<int>& f;
+    std::vector<int> got;
+    std::size_t saved = 0;
+    Consumer(sim::ClockDomain& c, sim::SyncFifo<int>& fifo)
+        : sim::Component(c, "cons"), f(fifo) {}
+    void evaluate() override {
+      if (!f.empty()) got.push_back(f.pop());
+    }
+    bool saveState() override {
+      saved = got.size();
+      return true;
+    }
+    void restoreState() override { got.resize(saved); }
+  };
+
+  auto run = [](unsigned threads, bool deep) {
+    sim::Simulator s;
+    s.setKernelThreads(threads);
+    s.setDeepCheck(deep);
+    auto& clk = s.addClockDomain("clk", 100.0);
+    sim::SyncFifo<int> f(clk, "pipe", 2);
+    Producer p(clk, f);
+    Consumer c(clk, f);
+    p.setEvalLane(0);
+    c.setEvalLane(1);
+    s.run(500'000);
+    return c.got;
+  };
+  const auto serial = run(1, false);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, run(4, false));
+  EXPECT_EQ(serial, run(4, true));  // replay passes see the serial kernel
+}
+
+TEST(ShardKernel, LaneExceptionPropagates) {
+  // A contract violation raised on a worker lane (sleep() while not idle)
+  // must surface to the caller of run() as the usual InvariantViolation, not
+  // terminate the process or deadlock the pool.
+  struct BadSleeper : sim::Component {
+    using sim::Component::Component;
+    void evaluate() override { sleep(); }
+    bool idle() const override { return false; }
+  };
+  struct Bystander : sim::Component {
+    using sim::Component::Component;
+    void evaluate() override {}
+  };
+  sim::Simulator s;
+  s.setKernelThreads(4);
+  auto& clk = s.addClockDomain("clk", 100.0);
+  BadSleeper bad(clk, "bad");
+  Bystander by(clk, "by");
+  bad.setEvalLane(0);
+  by.setEvalLane(1);
+  EXPECT_THROW(s.run(20'000), sim::InvariantViolation);
+}
+
+// ---------------------------------------------------------------------------
+// EvalPool mechanics
+// ---------------------------------------------------------------------------
+
+TEST(ShardKernel, PoolRunsEveryLaneExactlyOncePerDispatch) {
+  // Epoch-tagged work claiming: across many back-to-back dispatches — with
+  // more lanes than workers, so the caller drains too — every lane index is
+  // claimed exactly once per dispatch and the barrier holds.
+  constexpr std::size_t kLanes = 8;
+  constexpr int kDispatches = 2000;
+  struct Ctx {
+    std::atomic<std::uint64_t> count[kLanes];
+  } ctx;
+  for (auto& c : ctx.count) c.store(0);
+
+  sim::EvalPool pool(/*workers=*/3);
+  sim::EvalPool::Job job;
+  job.ctx = &ctx;
+  job.run_lane = [](void* p, std::size_t lane) {
+    static_cast<Ctx*>(p)->count[lane].fetch_add(1,
+                                                std::memory_order_relaxed);
+  };
+  job.lanes = kLanes;
+  for (int i = 0; i < kDispatches; ++i) pool.run(job);
+
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    EXPECT_EQ(ctx.count[l].load(), static_cast<std::uint64_t>(kDispatches))
+        << "lane " << l;
+  }
+}
+
+}  // namespace

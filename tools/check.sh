@@ -10,7 +10,14 @@
 #   4. parallel-sweep smoke: the shipped scenarios at -j 2 vs -j 1 must emit
 #      byte-identical digest sets (determinism under parallelism); the -j 2
 #      run writes BENCH_sweep.json (per-point wall-clock, Medges/s, digest)
-#   5. clang-format --dry-run over src/ tests/ tools/ (skipped with a notice
+#   5. kernel-perf smoke: fig3-small gated vs --no-gating digest compare,
+#      then a --kernel-threads 1/2/4 scaling curve — every digest must be
+#      bit-identical to the serial gated run; curve lands in BENCH_kernel.json
+#      (mpsoc-bench-kernel-v2)
+#   6. ThreadSanitizer smoke: separate TSan build (tsan is incompatible with
+#      asan) running fig3-small at --kernel-threads 4 — any data race in the
+#      sharded evaluate phase fails the stage
+#   7. clang-format --dry-run over src/ tests/ tools/ (skipped with a notice
 #      when clang-format is not installed)
 #
 # Usage: tools/check.sh [build-dir]     (default: build-check)
@@ -85,14 +92,17 @@ else
   FAILED=1
 fi
 
-stage "kernel-perf smoke (activity gating on vs off digest compare)"
-# The Fig. 3 full-platform instance at reduced workload scale, run twice:
-# once with the default activity-gated kernel and once with --no-gating
-# (every component evaluated on every edge).  Gating is behaviour-neutral by
-# contract, so the two canonical digests must be identical; a mismatch means
-# some component slept while it still had work to stage.  The gated run's
-# throughput is recorded in BENCH_kernel.json (note: sanitizer build — the
-# committed repo-root BENCH_kernel.json is measured on a Release build).
+stage "kernel-perf smoke (gating neutrality + kernel-thread scaling curve)"
+# The Fig. 3 full-platform instance at reduced workload scale.  First the
+# gating-neutrality check (gated vs --no-gating digests must match: a
+# mismatch means some component slept with work pending), then the sharded
+# kernel: --kernel-threads 1, 2 and 4.  Commit is single-threaded in slot
+# order by construction, so every digest must be bit-identical to the serial
+# gated run whatever the thread count.  The scaling curve is recorded in
+# BENCH_kernel.json, schema mpsoc-bench-kernel-v2 (note: sanitizer build on
+# whatever cores this host has — the committed repo-root BENCH_kernel.json
+# is measured on a Release build; treat the smoke's throughput figures as a
+# correctness by-product, not a benchmark).
 mkdir -p "$BUILD/kernel-smoke"
 cat > "$BUILD/kernel-smoke/fig3-small.scn" <<EOF
 name = fig3-small
@@ -102,6 +112,7 @@ memory = onchip
 wait_states = 1
 workload_scale = 0.25
 EOF
+KERNEL_OK=1
 if "$BUILD/tools/mpsoc_run" --sweep --json "$BUILD/kernel-smoke/gated.json" \
       "$BUILD/kernel-smoke/fig3-small.scn" > /dev/null && \
    "$BUILD/tools/mpsoc_run" --sweep --no-gating \
@@ -113,27 +124,89 @@ if "$BUILD/tools/mpsoc_run" --sweep --json "$BUILD/kernel-smoke/gated.json" \
     echo "kernel smoke: gated and ungated digests differ (activity gating"
     echo "must be behaviour-neutral; a component slept with work pending)"
     diff <(echo "$DG") <(echo "$DU")
-    FAILED=1
+    KERNEL_OK=0
   else
-    EG="$(grep -o '"sim_edges_per_s": [0-9.e+-]*' \
-          "$BUILD/kernel-smoke/gated.json" | head -1 | sed 's/.*: //')"
-    EU="$(grep -o '"sim_edges_per_s": [0-9.e+-]*' \
-          "$BUILD/kernel-smoke/ungated.json" | head -1 | sed 's/.*: //')"
-    cat > "$BUILD/BENCH_kernel.json" <<EOF
-{
-  "schema": "mpsoc-bench-kernel-v1",
-  "build": "sanitizer-smoke",
-  "scenario": "fig3-small (full-stbus, onchip, workload_scale 0.25)",
-  "digest": ${DG#*: },
-  "gated_edges_per_s": ${EG:-0},
-  "ungated_edges_per_s": ${EU:-0}
-}
-EOF
     echo "kernel smoke: digests identical with activity gating on and off"
-    echo "wrote $BUILD/BENCH_kernel.json"
   fi
 else
   echo "kernel smoke: mpsoc_run failed"
+  KERNEL_OK=0
+fi
+THREAD_ROWS=""
+if [ "$KERNEL_OK" -eq 1 ]; then
+  for T in 1 2 4; do
+    if ! "$BUILD/tools/mpsoc_run" --sweep --kernel-threads "$T" \
+          --json "$BUILD/kernel-smoke/t$T.json" \
+          "$BUILD/kernel-smoke/fig3-small.scn" > /dev/null; then
+      echo "kernel smoke: mpsoc_run --kernel-threads $T failed"
+      KERNEL_OK=0
+      break
+    fi
+    DT="$(grep -o '"digest": "[0-9a-f]*"' "$BUILD/kernel-smoke/t$T.json")"
+    ET="$(grep -o '"sim_edges_per_s": [0-9.e+-]*' \
+          "$BUILD/kernel-smoke/t$T.json" | head -1 | sed 's/.*: //')"
+    if [ "$DT" != "$DG" ]; then
+      echo "kernel smoke: --kernel-threads $T digest differs from serial"
+      echo "(sharded evaluate must be bit-identical; a lane raced or the"
+      echo "commit order changed)"
+      diff <(echo "$DG") <(echo "$DT")
+      KERNEL_OK=0
+      break
+    fi
+    echo "kernel smoke: threads=$T digest ok, ${ET:-0} edges/s"
+    [ -n "$THREAD_ROWS" ] && THREAD_ROWS="$THREAD_ROWS,"
+    THREAD_ROWS="$THREAD_ROWS
+    { \"threads\": $T, \"edges_per_s\": ${ET:-0} }"
+  done
+fi
+if [ "$KERNEL_OK" -eq 1 ]; then
+  EG="$(grep -o '"sim_edges_per_s": [0-9.e+-]*' \
+        "$BUILD/kernel-smoke/gated.json" | head -1 | sed 's/.*: //')"
+  EU="$(grep -o '"sim_edges_per_s": [0-9.e+-]*' \
+        "$BUILD/kernel-smoke/ungated.json" | head -1 | sed 's/.*: //')"
+  cat > "$BUILD/BENCH_kernel.json" <<EOF
+{
+  "schema": "mpsoc-bench-kernel-v2",
+  "build": "sanitizer-smoke",
+  "hw_threads": $(nproc 2>/dev/null || echo 1),
+  "scenario": "fig3-small (full-stbus, onchip, workload_scale 0.25)",
+  "digest": ${DG#*: },
+  "gated_edges_per_s": ${EG:-0},
+  "ungated_edges_per_s": ${EU:-0},
+  "kernel_threads": [$THREAD_ROWS
+  ]
+}
+EOF
+  echo "wrote $BUILD/BENCH_kernel.json"
+else
+  FAILED=1
+fi
+
+stage "tsan smoke (sharded kernel at --kernel-threads 4)"
+# ThreadSanitizer build in its own tree (tsan and asan cannot share one);
+# the monitored fig3-small run at 4 kernel threads drives every concurrency
+# structure of the sharded evaluate phase: worker-pool handoff, per-lane
+# commit buffers, atomic sleep/wake, the tap mutex and the auditor ledger.
+TSAN_BUILD="$BUILD-tsan"
+if cmake -B "$TSAN_BUILD" -S "$ROOT" -DMPSOC_SANITIZE=thread \
+        -DMPSOC_VERIFY=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null; then
+  if cmake --build "$TSAN_BUILD" -j "$JOBS" --target mpsoc_run \
+        > "$TSAN_BUILD/build.log" 2>&1; then
+    if TSAN_OPTIONS=halt_on_error=1 \
+       "$TSAN_BUILD/tools/mpsoc_run" --verify --kernel-threads 4 \
+          "$BUILD/kernel-smoke/fig3-small.scn" > /dev/null; then
+      echo "tsan smoke: fig3-small clean at --kernel-threads 4"
+    else
+      echo "tsan smoke: data race or failure (see output above)"
+      FAILED=1
+    fi
+  else
+    echo "tsan smoke: build failed (tail of log):"
+    tail -20 "$TSAN_BUILD/build.log"
+    FAILED=1
+  fi
+else
+  echo "tsan smoke: configure failed"
   FAILED=1
 fi
 

@@ -44,6 +44,16 @@
 //                       std::atomic (when behaviour-neutral, like the
 //                       transaction-id counter), and explicitly-audited
 //                       singletons (suppress with the usual annotation).
+//   evaluate-local-static
+//                       the same hazard one level deeper: a mutable
+//                       function-local static inside an evaluate() body is
+//                       shared between the *shard lanes* of one simulation —
+//                       the sharded kernel (Simulator::setKernelThreads) runs
+//                       evaluate() overrides of different components
+//                       concurrently, so even a single run races on it.
+//                       Reported under its own rule name because the fix
+//                       differs: hoist into a member (per-component state is
+//                       lane-local by construction).
 //
 // Usage: mpsoc_lint <dir-or-file>...   (exit 1 when any finding is reported)
 // Suppress a finding with a trailing comment:  // mpsoc-lint: allow(<rule>)
@@ -328,9 +338,13 @@ class FileLinter {
     // pool runs simulations concurrently; anything `static` and writable is
     // shared between them.  Skips const/constexpr/atomic/thread_local data
     // and function declarations (a '(' before the declarator terminator).
-    if (kernel_code_ && !suppressed(comment, "shared-static")) {
+    if (kernel_code_) {
+      const bool in_evaluate_body = evaluate_depth_ > 0;
+      const std::string rule =
+          in_evaluate_body ? "evaluate-local-static" : "shared-static";
       static const std::regex static_decl(R"(^\s*(?:inline\s+)?static\s)");
-      if (std::regex_search(code, static_decl) &&
+      if (!suppressed(comment, rule) &&
+          std::regex_search(code, static_decl) &&
           code.find("const") == std::string::npos &&
           code.find("std::atomic") == std::string::npos &&
           code.find("thread_local") == std::string::npos) {
@@ -340,10 +354,18 @@ class FileLinter {
             paren != std::string::npos &&
             (term == std::string::npos || paren < term);
         if (!is_function) {
-          report(lineno, "shared-static",
-                 "mutable static storage is shared across concurrent "
-                 "simulations (see core/sweep.hpp); make it per-instance, "
-                 "const, or std::atomic-and-behaviour-neutral");
+          if (in_evaluate_body) {
+            report(lineno, "evaluate-local-static",
+                   "mutable function-local static inside evaluate(): shard "
+                   "lanes of one simulation run evaluate() concurrently "
+                   "(Simulator::setKernelThreads), so this races even in a "
+                   "single run; hoist it into a member of the component");
+          } else {
+            report(lineno, "shared-static",
+                   "mutable static storage is shared across concurrent "
+                   "simulations (see core/sweep.hpp); make it per-instance, "
+                   "const, or std::atomic-and-behaviour-neutral");
+          }
         }
       }
     }

@@ -13,6 +13,13 @@
 //   --no-gating     disable kernel activity gating (evaluate every component
 //                   on every edge).  Digests must not change — the check.sh
 //                   kernel-perf smoke diffs gated vs. ungated runs with this
+//   --kernel-threads N
+//                   evaluate each platform's component shards on N kernel
+//                   worker threads (0 = hardware concurrency; default 1 =
+//                   serial kernel).  Commit stays single-threaded in slot
+//                   order, so digests are bit-identical at every N.  When
+//                   combined with -j, per-point threads are clamped so that
+//                   jobs x threads does not oversubscribe the machine
 //   --sweep         print the sweep view: per-point wall-clock, simulation
 //                   throughput (Medges/s) and canonical result digest
 //   -j N            run N scenarios concurrently (0 = one per hardware
@@ -42,8 +49,8 @@ namespace {
 
 void usage() {
   std::cerr << "usage: mpsoc_run [--csv] [--json <path|->] [--normalize N] "
-               "[--verify] [--no-gating] [--sweep] [-j N] scenario.scn "
-               "[...]\n";
+               "[--verify] [--no-gating] [--kernel-threads N] [--sweep] "
+               "[-j N] scenario.scn [...]\n";
 }
 
 }  // namespace
@@ -53,6 +60,7 @@ int main(int argc, char** argv) {
   bool want_sweep = false;
   bool want_verify = false;
   bool no_gating = false;
+  long kernel_threads = -1;  // -1 = keep each scenario's own setting
   std::string json_path;
   std::size_t normalize_to = 0;
   unsigned jobs = 1;
@@ -67,6 +75,8 @@ int main(int argc, char** argv) {
       want_verify = true;
     } else if (std::strcmp(argv[i], "--no-gating") == 0) {
       no_gating = true;
+    } else if (std::strcmp(argv[i], "--kernel-threads") == 0 && i + 1 < argc) {
+      kernel_threads = std::stol(argv[++i]);
     } else if (std::strcmp(argv[i], "--sweep") == 0) {
       want_sweep = true;
     } else if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc) {
@@ -96,6 +106,9 @@ int main(int argc, char** argv) {
     }
     if (want_verify) sc.config.verify = true;
     if (no_gating) sc.config.activity_gating = false;
+    if (kernel_threads >= 0) {
+      sc.config.kernel_threads = static_cast<unsigned>(kernel_threads);
+    }
     points.push_back(core::SweepPoint{sc.name, sc.config, 0});
   }
 
