@@ -62,7 +62,12 @@ class Bridge::SlaveSide final : public sim::Component {
   bool idle() const override { return b_.slaveIdle(); }
 
  private:
-  Bridge& b_;
+  // Audited cross-lane aliasing: the two bridge sides may evaluate on
+  // different lanes, but every b_ access from this side is either an
+  // endpoint-disjoint CDC FIFO operation (fwd_ push / bwd_ pop — both
+  // instrumented by MPSOC_RACECHECK's endpoint keys), a const config read,
+  // or the side-local slaveIdle() predicate.
+  Bridge& b_;  // mpsoc-lint: allow(cross-lane-deref)
 };
 
 class Bridge::MasterSide final : public txn::MasterBase {
@@ -149,7 +154,10 @@ class Bridge::MasterSide final : public txn::MasterBase {
   }
 
  private:
-  Bridge& b_;
+  // Audited cross-lane aliasing (see SlaveSide::b_): fwd_ pop / bwd_ push
+  // are endpoint-disjoint from the slave side's accesses, cfg_ is const, and
+  // the reads_fwd_/writes_fwd_ counters are mutated by this side only.
+  Bridge& b_;  // mpsoc-lint: allow(cross-lane-deref)
   std::deque<Staged> staged_;
   std::deque<RequestPtr> done_;
   std::unordered_map<std::uint64_t, RequestPtr> origin_;

@@ -99,6 +99,10 @@ void St220::evaluate() {
     if (pc_ >= cfg_.code_base + cfg_.code_footprint) pc_ = cfg_.code_base;
   }
   if (!ires.hit) {
+    // NOLINTNEXTLINE(bugprone-unchecked-optional-access): a miss always
+    // carries fill_addr (set unconditionally on the miss path in cache.cpp);
+    // the invariant spans the Cache::access call, so it is not locally
+    // provable to the checker.
     scheduleFill(*ires.fill_addr, icache_.lineBytes());
     return;  // the bundle resumes when the fill returns
   }

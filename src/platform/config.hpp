@@ -107,6 +107,15 @@ struct PlatformConfig {
   /// anything (with it OFF this flag only creates an empty context).
   bool verify = false;
 
+  /// Deterministic lane-ownership race checking for the sharded kernel (see
+  /// Simulator::setRaceCheck and DESIGN.md "Race checking"): attribute every
+  /// evaluate-phase mutation to its shard lane and abort with
+  /// InvariantViolation on any cross-lane access within one edge.  Works at
+  /// any kernel_threads value, including 1 — the lane partition itself is
+  /// checked, no racy interleaving required.  Requires MPSOC_RACECHECK=ON to
+  /// observe anything (with it OFF this flag is ignored).
+  bool racecheck = false;
+
   /// Worker threads for the kernel's sharded evaluate phase (see
   /// Simulator::setKernelThreads): 1 = serial kernel (default), N > 1 =
   /// evaluate shards concurrently on a kernel-resident pool, 0 = one thread

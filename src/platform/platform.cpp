@@ -32,7 +32,10 @@ Platform::Platform(PlatformConfig cfg) : cfg_(cfg) {
     attachVerification();
   }
   sim_.setKernelThreads(cfg_.kernel_threads);
-  if (cfg_.kernel_threads != 1) assignEvalLanes();
+  if (cfg_.racecheck) sim_.setRaceCheck(true);
+  // The race checker validates the lane map even on a serial kernel, so the
+  // topology lanes are assigned whenever either consumer needs them.
+  if (cfg_.kernel_threads != 1 || cfg_.racecheck) assignEvalLanes();
 }
 
 void Platform::assignEvalLanes() {

@@ -134,6 +134,8 @@ NamedScenario parseScenario(const std::string& text) {
       cfg.seed = parseU64(val, line_no);
     } else if (key == "kernel_threads") {
       cfg.kernel_threads = static_cast<unsigned>(parseU64(val, line_no));
+    } else if (key == "racecheck") {
+      cfg.racecheck = parseBool(val, line_no);
     } else {
       fail(line_no, "unknown scenario option '" + key + "'");
     }

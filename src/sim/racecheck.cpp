@@ -1,0 +1,81 @@
+#include "sim/racecheck.hpp"
+
+#if MPSOC_RACECHECK
+
+#include <sstream>
+
+#include "sim/check.hpp"
+#include "sim/component.hpp"
+
+namespace mpsoc::sim {
+
+namespace rc {
+thread_local LaneContext tl_lane;
+
+void touchComponent(const Component* c) {
+  if (tl_lane.rc && c != nullptr) {
+    tl_lane.rc->touch(c, Endpoint::Object, c->name(), &c->clk(),
+                      tl_lane.lane, tl_lane.component);
+  }
+}
+}  // namespace rc
+
+namespace {
+const char* endpointName(rc::Endpoint ep) {
+  switch (ep) {
+    case rc::Endpoint::Push:
+      return "push end";
+    case rc::Endpoint::Pop:
+      return "pop end";
+    case rc::Endpoint::Object:
+      break;
+  }
+  return "object";
+}
+}  // namespace
+
+void RaceCheck::beginEdge(std::uint64_t edge, Picos t_ps) {
+  // The kernel calls this single-threaded, before any lane runs.
+  edge_ = edge;
+  edge_t_ps_ = t_ps;
+}
+
+std::size_t RaceCheck::trackedStates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void RaceCheck::touch(const void* addr, rc::Endpoint ep,
+                      const std::string& name, const ClockDomain* clk,
+                      std::uint32_t lane, const Component* by) {
+  touches_.fetch_add(1, std::memory_order_relaxed);
+  std::string detail;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Record& rec = records_[Key{addr, ep}];
+    if (rec.edge == edge_ && rec.by != nullptr && rec.lane != lane) {
+      // Compose under the lock (the record is about to be overwritten by
+      // design on clean paths), raise after releasing it.
+      std::ostringstream oss;
+      oss << "cross-lane access: " << endpointName(ep) << " of '" << name
+          << "' touched by lane " << rec.lane << " ('" << rec.by->name()
+          << "') and lane " << lane << " ('"
+          << (by != nullptr ? by->name() : std::string("<kernel>"))
+          << "') within edge slot " << edge_ << " @ t=" << edge_t_ps_
+          << " ps — components in different evaluate lanes may only share a "
+             "FIFO through opposite endpoints (see DESIGN.md \"Race "
+             "checking\")";
+      detail = oss.str();
+    } else {
+      rec = Record{edge_, lane, by};
+    }
+  }
+  if (!detail.empty()) {
+    raiseInvariant(checkContext(__FILE__, __LINE__, name, clk),
+                   std::move(detail));
+  }
+}
+
+}  // namespace mpsoc::sim
+
+#endif  // MPSOC_RACECHECK

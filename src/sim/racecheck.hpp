@@ -1,0 +1,183 @@
+#pragma once
+// MPSOC_RACECHECK — deterministic lane-ownership race checking for the
+// sharded evaluate phase.
+//
+// The sharded kernel (DESIGN.md "Kernel hot path") is only sound if two
+// components placed in *different* evaluate lanes never mutate the same piece
+// of simulation state within one edge, except through the opposite ends of a
+// FIFO (push end vs pop end, whose staged state is disjoint by construction).
+// ThreadSanitizer can confirm that contract only when a racy interleaving
+// actually happens at runtime — on a single-core host it almost never does.
+//
+// This checker makes the contract *schedule-independent*: every mutation of
+// Evaluate-phase state — a SyncFifo/AsyncFifo endpoint, a component's own
+// members (recorded automatically before its evaluate() runs), any foreign
+// state explicitly annotated with RC_TOUCH(ptr) — is attributed to the shard
+// lane executing it, and two different lanes touching the same state key
+// within the same edge raise an InvariantViolation naming the edge slot and
+// instant, both lane ids and both accessing components.  Ownership is checked
+// against the ShardPlan itself, so a bad lane assignment is caught even at
+// --kernel-threads 1 (the kernel runs the lanes inline, in lane order, so the
+// report is bit-identical run after run) and on hosts with one core.
+//
+// State keys are (address, endpoint): a FIFO has independent Push and Pop
+// endpoint keys — its producer and consumer may legally live on different
+// lanes — while popAt() (out-of-order removal, which rewrites the committed
+// ring shared with the staged region) touches *both* endpoints and therefore
+// forces producer and consumer onto one lane, exactly as the sharding
+// contract demands.  Paths that are synchronized by design (the MPSOC_VERIFY
+// tap dispatch under Simulator::tapMutex) count a "synchronized touch" for
+// statistics but are exempt from conflict checking.  The serial tail,
+// the mid-edge-registration catch-up pass, the commit phase and deep-check
+// runs execute without a lane context and are likewise exempt.
+//
+// Compiled out by default semantics mirror MPSOC_VERIFY: the CMake option
+// keeps the hooks compiled in for the tier-1 tree, runtime attachment stays
+// opt-in (PlatformConfig::racecheck / mpsoc_run --racecheck), and
+// -DMPSOC_RACECHECK=OFF removes every hook from the binaries entirely.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sim/time.hpp"
+
+#ifndef MPSOC_RACECHECK
+#define MPSOC_RACECHECK 0
+#endif
+
+namespace mpsoc::sim {
+
+class ClockDomain;
+class Component;
+
+namespace rc {
+/// Which aspect of a state object an access mutates.  A FIFO's Push and Pop
+/// endpoints are independently owned; Object covers everything with a single
+/// owner (a component's members, a stats counter block).
+enum class Endpoint : std::uint8_t { Object = 0, Push = 1, Pop = 2 };
+}  // namespace rc
+
+#if MPSOC_RACECHECK
+
+/// Per-Simulator access registry.  One instance is owned by the Simulator
+/// when race checking is enabled; all touch traffic funnels through the
+/// thread-local lane context (rc::tl_lane) so un-instrumented call paths pay
+/// nothing and non-lane phases are exempt by construction.
+class RaceCheck {
+ public:
+  /// Called by the kernel at the start of every checked edge slot.  Records
+  /// from earlier edges stay in the table (they are overwritten on the next
+  /// touch and ignored by the conflict rule, which requires edge equality).
+  void beginEdge(std::uint64_t edge, Picos t_ps);
+
+  /// Attribute a mutation of (`addr`, `ep`) to the calling lane; raises
+  /// InvariantViolation if a different lane already touched that key this
+  /// edge.  `name`/`clk` identify the state for the report.
+  void touch(const void* addr, rc::Endpoint ep, const std::string& name,
+             const ClockDomain* clk, std::uint32_t lane,
+             const Component* by);
+
+  /// A mutation on a path that is serialized by design (tap mutex); counted,
+  /// never conflict-checked.
+  void noteSynchronized() {
+    sync_touches_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t touches() const {
+    return touches_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t synchronizedTouches() const {
+    return sync_touches_.load(std::memory_order_relaxed);
+  }
+  std::size_t trackedStates() const;
+
+ private:
+  struct Key {
+    const void* addr;
+    rc::Endpoint ep;
+    bool operator==(const Key& o) const {
+      return addr == o.addr && ep == o.ep;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      auto h = reinterpret_cast<std::uintptr_t>(k.addr);
+      return std::hash<std::uintptr_t>()(h * 3u +
+                                         static_cast<std::uintptr_t>(k.ep));
+    }
+  };
+  struct Record {
+    std::uint64_t edge = 0;
+    std::uint32_t lane = 0;
+    const Component* by = nullptr;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Record, KeyHash> records_;
+  std::uint64_t edge_ = 0;
+  Picos edge_t_ps_ = 0;
+  std::atomic<std::uint64_t> touches_{0};
+  std::atomic<std::uint64_t> sync_touches_{0};
+};
+
+namespace rc {
+
+/// Lane identity of the current thread while it evaluates a shard lane.
+/// Installed by the kernel (Simulator::runLane) around the lane's component
+/// loop; null rc outside, so every touch helper is a no-op on kernel phases
+/// that are exempt (serial tail, catch-up, commit, deep-check) and on
+/// un-checked runs.
+struct LaneContext {
+  RaceCheck* rc = nullptr;
+  std::uint32_t lane = 0;
+  const Component* component = nullptr;  ///< the component being evaluated
+};
+extern thread_local LaneContext tl_lane;
+
+inline void touch(const void* addr, Endpoint ep, const std::string& name,
+                  const ClockDomain* clk) {
+  if (tl_lane.rc) {
+    tl_lane.rc->touch(addr, ep, name, clk, tl_lane.lane, tl_lane.component);
+  }
+}
+inline void touchFifoPush(const void* fifo, const std::string& name,
+                          const ClockDomain* clk) {
+  touch(fifo, Endpoint::Push, name, clk);
+}
+inline void touchFifoPop(const void* fifo, const std::string& name,
+                         const ClockDomain* clk) {
+  touch(fifo, Endpoint::Pop, name, clk);
+}
+inline void noteSynchronized() {
+  if (tl_lane.rc) tl_lane.rc->noteSynchronized();
+}
+
+/// RC_TOUCH(c) target: records an Object touch on component `c` from the
+/// calling lane (out-of-line so this header needs no Component definition).
+void touchComponent(const Component* c);
+
+}  // namespace rc
+
+/// Annotate an evaluate() body that deliberately reaches into another
+/// component's state: RC_TOUCH(ptr) attributes that component's Object key to
+/// the calling lane, so a cross-lane reach is reported instead of silently
+/// racing.  Also the annotation the mpsoc_lint `cross-lane-deref` rule
+/// accepts as proof that a foreign-component dereference is checked.
+#define RC_TOUCH(component_ptr) \
+  ::mpsoc::sim::rc::touchComponent(component_ptr)
+
+#else  // !MPSOC_RACECHECK
+
+/// Stub so Simulator's `std::unique_ptr<RaceCheck>` member destructs in OFF
+/// builds; never instantiated (setRaceCheck is a no-op when the hooks are
+/// compiled out).
+class RaceCheck {};
+
+#define RC_TOUCH(component_ptr) ((void)0)
+
+#endif  // MPSOC_RACECHECK
+
+}  // namespace mpsoc::sim

@@ -7,6 +7,7 @@
 #include "sim/check.hpp"
 #include "sim/component.hpp"
 #include "sim/eval_pool.hpp"
+#include "sim/racecheck.hpp"
 
 namespace mpsoc::sim {
 
@@ -28,6 +29,19 @@ void Simulator::setKernelThreads(unsigned n) {
   plans_.clear();
   plans_generation_ = ~0ULL;
   if (n > 1) pool_ = std::make_unique<EvalPool>(n - 1);
+}
+
+void Simulator::setRaceCheck(bool on) {
+#if MPSOC_RACECHECK
+  if (on == (racecheck_ != nullptr)) return;
+  racecheck_ = on ? std::make_unique<RaceCheck>() : nullptr;
+  // The checker changes which kernel path step() takes (plan-driven lanes
+  // even at one thread); drop cached plans so the switch is clean mid-run.
+  plans_.clear();
+  plans_generation_ = ~0ULL;
+#else
+  (void)on;  // compiled out: the kernel stays byte-for-byte on its usual path
+#endif
 }
 
 ClockDomain& Simulator::addClockDomain(const std::string& name, double mhz) {
@@ -125,12 +139,14 @@ bool Simulator::step() {
       }
     }
   }
-  // Sharded path: only when a pool exists, deep-check is off (the replay
-  // passes re-evaluate whole domains and must stay serial — results are
-  // identical either way, by the very contract deep-check enforces) and the
-  // slot actually splits into more than one lane.
-  ShardPlan* plan =
-      (pool_ && !deep_check_) ? planFor(edge_scratch_) : nullptr;
+  // Sharded path: only when a pool exists (or the race checker needs the
+  // lane partition — it checks ownership even at one thread), deep-check is
+  // off (the replay passes re-evaluate whole domains and must stay serial —
+  // results are identical either way, by the very contract deep-check
+  // enforces) and the slot actually splits into more than one lane.
+  ShardPlan* plan = ((pool_ || racecheck_) && !deep_check_)
+                        ? planFor(edge_scratch_)
+                        : nullptr;
   if (plan && plan->lanes.size() > 1) {
     evaluateSlotParallel(*plan);
   } else {
@@ -244,15 +260,35 @@ void Simulator::runLaneThunk(void* ctx, std::size_t lane) {
 void Simulator::runLane(ShardPlan& plan, std::size_t lane_idx) {
   Lane& lane = plan.lanes[lane_idx];
   detail::tl_commit_buf = &lane.commit_buf;
+#if MPSOC_RACECHECK
+  if (racecheck_) {
+    rc::tl_lane.rc = racecheck_.get();
+    rc::tl_lane.lane = static_cast<std::uint32_t>(lane_idx);
+  }
+#endif
   const bool gate = activity_gating_;
   try {
     for (Component* c : lane.components) {
       if (gate && c->asleep()) continue;
+#if MPSOC_RACECHECK
+      if (racecheck_) {
+        // The component's own members are state it mutates by definition:
+        // record the Object self-touch before evaluate() runs, so two lanes
+        // sharing one component (a broken plan) or an RC_TOUCH from another
+        // lane conflict deterministically.
+        rc::tl_lane.component = c;
+        racecheck_->touch(c, rc::Endpoint::Object, c->name(), &c->clk(),
+                          rc::tl_lane.lane, c);
+      }
+#endif
       c->evaluate();
     }
   } catch (...) {
     lane.error = std::current_exception();
   }
+#if MPSOC_RACECHECK
+  rc::tl_lane = rc::LaneContext{};
+#endif
   detail::tl_commit_buf = nullptr;
 }
 
@@ -260,13 +296,24 @@ void Simulator::evaluateSlotParallel(ShardPlan& plan) {
   // Cycle counters first: lane components read now() concurrently.
   for (ClockDomain* d : edge_scratch_) d->beginEdge();
   for (Lane& lane : plan.lanes) lane.error = nullptr;
+#if MPSOC_RACECHECK
+  if (racecheck_) racecheck_->beginEdge(edges_executed_, now_ps_);
+#endif
 
   current_plan_ = &plan;
-  EvalPool::Job job;
-  job.ctx = this;
-  job.run_lane = &Simulator::runLaneThunk;
-  job.lanes = plan.lanes.size();
-  pool_->run(job);
+  if (pool_) {
+    EvalPool::Job job;
+    job.ctx = this;
+    job.run_lane = &Simulator::runLaneThunk;
+    job.lanes = plan.lanes.size();
+    pool_->run(job);
+  } else {
+    // Race checking at --kernel-threads 1: same lane partition, run inline
+    // in lane order on this thread.  Ownership conflicts are detected just
+    // as at any thread count, and the first conflicting pair — hence the
+    // report — is identical run after run.
+    for (std::size_t i = 0; i < plan.lanes.size(); ++i) runLane(plan, i);
+  }
   current_plan_ = nullptr;
 
   // Merge the per-lane commit intents into the owning domains' queues, in

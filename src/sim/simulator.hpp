@@ -34,6 +34,7 @@
 namespace mpsoc::sim {
 
 class EvalPool;
+class RaceCheck;
 
 /// Where the kernel is within the two-phase edge protocol.  FIFOs use this to
 /// reject mutations outside their legal window: push/pop only during
@@ -84,6 +85,19 @@ class Simulator {
   /// per hardware thread.  Deep-check mode always evaluates serially.
   void setKernelThreads(unsigned n);
   unsigned kernelThreads() const { return kernel_threads_; }
+
+  /// Deterministic lane-ownership race checking (see src/sim/racecheck.hpp):
+  /// when on, every evaluate-phase mutation — FIFO endpoints, each
+  /// component's own members, RC_TOUCH-annotated foreign state — is
+  /// attributed to the shard lane performing it, and two lanes touching the
+  /// same state within one edge raise InvariantViolation.  Works at any
+  /// kernel thread count: at --kernel-threads 1 the kernel still builds the
+  /// shard plan and runs the lanes inline in lane order, so a bad lane
+  /// assignment is reported identically run after run, no racy interleaving
+  /// required.  No-op when compiled out (MPSOC_RACECHECK=OFF).
+  void setRaceCheck(bool on);
+  /// Non-null while race checking is active (always null when compiled out).
+  RaceCheck* raceCheck() const { return racecheck_.get(); }
 
   /// Number of components currently asleep / registered (activity counters).
   std::size_t asleepComponents() const {
@@ -236,6 +250,9 @@ class Simulator {
   // kernel byte-for-byte on its serial path.
   unsigned kernel_threads_ = 1;
   std::unique_ptr<EvalPool> pool_;
+  // Non-null only while race checking is on; the plan/lane machinery then
+  // engages even with pool_ null (lanes run inline on the kernel thread).
+  std::unique_ptr<RaceCheck> racecheck_;
   std::vector<std::unique_ptr<ShardPlan>> plans_;
   std::uint64_t plans_generation_ = ~0ULL;
   ShardPlan* current_plan_ = nullptr;

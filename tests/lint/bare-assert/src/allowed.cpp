@@ -1,0 +1,7 @@
+// Fixture: the allow() annotation suppresses the finding.
+#include <cassert>
+
+void advanceTimeline(int edges) {
+  assert(edges > 0);  // mpsoc-lint: allow(bare-assert)
+  (void)edges;
+}

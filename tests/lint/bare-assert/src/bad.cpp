@@ -1,0 +1,7 @@
+// Fixture: bare assert() in kernel code must be reported.
+#include <cassert>
+
+void advanceTimeline(int edges) {
+  assert(edges > 0);
+  (void)edges;
+}

@@ -1,0 +1,21 @@
+// Fixture: near-misses that must stay clean.
+#include <map>
+#include <vector>
+
+static_assert(sizeof(long) >= 4, "word width");
+
+class TickSource : public KernelBase {
+ public:
+  void evaluate() override {
+    for (const auto& kv : ordered_) {
+      total_ += kv.second;
+    }
+  }
+  bool idle() const override { return true; }
+
+ private:
+  std::map<int, long> ordered_;
+  long total_ = 0;
+};
+
+static const int kBurstBeats = 8;

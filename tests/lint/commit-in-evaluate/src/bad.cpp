@@ -1,0 +1,7 @@
+// Fixture: committing staged state from inside evaluate().
+
+void DrainEngine::evaluate() {
+  if (pending_ > 0) {
+    out_fifo_.commit();
+  }
+}

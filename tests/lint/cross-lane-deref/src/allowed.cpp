@@ -1,0 +1,19 @@
+// Fixture: a declaration-level allow() exempts the audited alias file-wide.
+
+class PeerAgent : public sim::Component {
+ public:
+  void evaluate() override;
+};
+
+class SnoopingAgent : public sim::Component {
+ public:
+  void evaluate() override {
+    if (peer_->busy()) {
+      ++stalls_;
+    }
+  }
+
+ private:
+  PeerAgent* peer_ = nullptr;  // mpsoc-lint: allow(cross-lane-deref)
+  long stalls_ = 0;
+};

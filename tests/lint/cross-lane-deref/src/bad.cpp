@@ -1,0 +1,19 @@
+// Fixture: evaluate() dereferencing a member pointer to another component.
+
+class PeerAgent : public sim::Component {
+ public:
+  void evaluate() override;
+};
+
+class SnoopingAgent : public sim::Component {
+ public:
+  void evaluate() override {
+    if (peer_->busy()) {
+      ++stalls_;
+    }
+  }
+
+ private:
+  PeerAgent* peer_ = nullptr;
+  long stalls_ = 0;
+};

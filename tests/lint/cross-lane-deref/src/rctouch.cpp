@@ -1,0 +1,20 @@
+// Fixture: RC_TOUCH attributes the foreign access, so no finding.
+
+class PeerAgent : public sim::Component {
+ public:
+  void evaluate() override;
+};
+
+class SnoopingAgent : public sim::Component {
+ public:
+  void evaluate() override {
+    RC_TOUCH(peer_);
+    if (peer_->busy()) {
+      ++stalls_;
+    }
+  }
+
+ private:
+  PeerAgent* peer_ = nullptr;
+  long stalls_ = 0;
+};

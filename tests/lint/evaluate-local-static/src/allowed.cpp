@@ -1,0 +1,6 @@
+// Fixture: the allow() annotation suppresses the finding.
+
+void BeatCounter::evaluate() {
+  static long beats = 0;  // mpsoc-lint: allow(evaluate-local-static)
+  ++beats;
+}

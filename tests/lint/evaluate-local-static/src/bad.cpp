@@ -1,0 +1,6 @@
+// Fixture: mutable function-local static inside evaluate().
+
+void BeatCounter::evaluate() {
+  static long beats = 0;
+  ++beats;
+}

@@ -1,0 +1,7 @@
+// Fixture: the allow() annotation suppresses the finding.
+
+void CopyPump::evaluate() {
+  while (!src_.empty()) {  // mpsoc-lint: allow(idle-busy-poll)
+    dst_.push(src_.pop());
+  }
+}

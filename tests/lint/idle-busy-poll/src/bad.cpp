@@ -1,0 +1,7 @@
+// Fixture: evaluate() polls a FIFO but the file never reports idleness.
+
+void CopyPump::evaluate() {
+  while (!src_.empty()) {
+    dst_.push(src_.pop());
+  }
+}

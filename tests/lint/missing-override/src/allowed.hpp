@@ -1,0 +1,7 @@
+// Fixture: the allow() annotation suppresses the finding.
+#pragma once
+
+class PollingMaster : public KernelBase {
+ public:
+  void evaluate();  // mpsoc-lint: allow(missing-override)
+};

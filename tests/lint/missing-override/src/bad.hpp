@@ -1,0 +1,8 @@
+// Fixture: redeclaring kernel virtuals without `override`.
+#pragma once
+
+class PollingMaster : public KernelBase {
+ public:
+  void evaluate();
+  bool idle() const;
+};

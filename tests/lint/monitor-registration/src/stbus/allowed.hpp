@@ -1,0 +1,11 @@
+// Fixture: the allow() annotation suppresses the finding.
+#pragma once
+
+namespace mpsoc::stbus {
+
+class ProbeNode final : public sim::Component {  // mpsoc-lint: allow(monitor-registration)
+ public:
+  void evaluate() override;
+};
+
+}  // namespace mpsoc::stbus

@@ -1,0 +1,11 @@
+// Fixture: protocol-subsystem component with no attachMonitors().
+#pragma once
+
+namespace mpsoc::stbus {
+
+class ProbeNode final : public sim::Component {
+ public:
+  void evaluate() override;
+};
+
+}  // namespace mpsoc::stbus

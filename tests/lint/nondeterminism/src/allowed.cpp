@@ -1,0 +1,6 @@
+// Fixture: the allow() annotation suppresses the finding.
+#include <cstdlib>
+
+int pickInitiator(int n) {
+  return rand() % n;  // mpsoc-lint: allow(nondeterminism)
+}

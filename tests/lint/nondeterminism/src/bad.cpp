@@ -1,0 +1,6 @@
+// Fixture: unseeded global RNG in kernel code must be reported.
+#include <cstdlib>
+
+int pickInitiator(int n) {
+  return rand() % n;
+}

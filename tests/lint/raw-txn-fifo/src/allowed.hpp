@@ -1,0 +1,6 @@
+// Fixture: the allow() annotation suppresses the finding.
+#pragma once
+
+struct SideChannel {
+  SyncFifo<txn::RequestPtr> bypass;  // mpsoc-lint: allow(raw-txn-fifo)
+};

@@ -1,0 +1,6 @@
+// Fixture: a transaction FIFO declared outside txn/ports.hpp.
+#pragma once
+
+struct SideChannel {
+  SyncFifo<txn::RequestPtr> bypass;
+};

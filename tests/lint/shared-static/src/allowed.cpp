@@ -1,0 +1,6 @@
+// Fixture: the allow() annotation suppresses the finding.
+
+long nextSerialNumber() {
+  static long counter = 0;  // mpsoc-lint: allow(shared-static)
+  return ++counter;
+}

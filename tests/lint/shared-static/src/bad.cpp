@@ -1,0 +1,6 @@
+// Fixture: mutable static storage in simulation code.
+
+long nextSerialNumber() {
+  static long counter = 0;
+  return ++counter;
+}

@@ -1,0 +1,6 @@
+// Fixture: the allow() annotation suppresses the finding.
+#include <memory>
+
+void RigBuilder::addTrafficTap() {
+  taps_.push_back(std::make_unique<Iptg>(clk(), "tap"));  // mpsoc-lint: allow(unlaned-component)
+}

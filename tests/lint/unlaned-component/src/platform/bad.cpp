@@ -1,0 +1,6 @@
+// Fixture: platform assembly constructing a component with no lane path.
+#include <memory>
+
+void RigBuilder::addTrafficTap() {
+  taps_.push_back(std::make_unique<Iptg>(clk(), "tap"));
+}

@@ -1,0 +1,10 @@
+// Fixture: range-for over an unordered container must be reported.
+#include <unordered_map>
+
+inline std::unordered_map<int, long> lat_by_id;
+
+long totalLatency() {
+  long sum = 0;
+  for (const auto& kv : lat_by_id) sum += kv.second;
+  return sum;
+}

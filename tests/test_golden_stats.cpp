@@ -179,6 +179,8 @@ bool loadGolden(const std::string& path, std::string& digest,
 }
 
 bool updateMode() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once during single-threaded
+  // test setup; nothing in this process calls setenv/putenv.
   const char* v = std::getenv("MPSOC_UPDATE_GOLDEN");
   return v != nullptr && std::string(v) == "1";
 }

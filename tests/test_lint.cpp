@@ -1,0 +1,164 @@
+// Self-test corpus for the mpsoc_lint static checker (tools/mpsoc_lint.cpp).
+//
+// tests/lint/ holds one directory per rule.  Each directory contains a
+// deliberately-bad fixture (`bad.*`) whose findings are pinned below, plus an
+// `allowed.*` twin where the identical defect carries an
+// `// mpsoc-lint: allow(<rule>)` annotation and must be silent.  The
+// cross-lane-deref corpus adds `rctouch.cpp`, where RC_TOUCH() attributes the
+// foreign access instead of the annotation.  tests/lint/clean/ collects
+// near-misses (static_assert, `static const`, ordered std::map iteration,
+// `override` present) that must not fire at all.
+//
+// The fixtures live under a nested src/ (and src/stbus, src/platform) so the
+// path-scoped rules see them as kernel / protocol / platform code; the
+// whole-tree lint invocations exclude the corpus with `--skip tests/lint/`.
+//
+// The test shells out to the real binary (MPSOC_LINT_BIN, injected by CMake)
+// and diffs the parsed findings against the expected set — rule name, file
+// and line must all match exactly, so a rule that drifts (fires on a new
+// line, stops firing, or double-reports) fails here before it pollutes a
+// whole-tree run.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <regex>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#ifndef MPSOC_LINT_BIN
+#error "MPSOC_LINT_BIN must point at the mpsoc_lint executable"
+#endif
+#ifndef MPSOC_LINT_FIXTURES
+#error "MPSOC_LINT_FIXTURES must point at tests/lint"
+#endif
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+  // Findings parsed from `path:line: [rule] message` lines, keyed as
+  // (path-relative-to-fixture-root, line, rule).
+  std::set<std::tuple<std::string, int, std::string>> findings;
+};
+
+LintRun runLint(const std::string& args) {
+  LintRun run;
+  const std::string cmd =
+      std::string(MPSOC_LINT_BIN) + " " + args + " 2>&1";
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    run.output = "popen failed for: " + cmd;
+    return run;
+  }
+  std::array<char, 4096> buf{};
+  std::size_t n = 0;
+  while ((n = std::fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    run.output.append(buf.data(), n);
+  }
+  const int status = ::pclose(pipe);
+  run.exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status)
+                                                     : status;
+
+  static const std::regex finding_re(R"(^(.+):(\d+): \[([\w-]+)\])");
+  std::size_t pos = 0;
+  const std::string root = std::string(MPSOC_LINT_FIXTURES) + "/";
+  while (pos < run.output.size()) {
+    std::size_t eol = run.output.find('\n', pos);
+    if (eol == std::string::npos) eol = run.output.size();
+    const std::string line = run.output.substr(pos, eol - pos);
+    pos = eol + 1;
+    std::smatch m;
+    if (!std::regex_search(line, m, finding_re)) continue;
+    std::string path = m[1].str();
+    if (path.rfind(root, 0) == 0) path.erase(0, root.size());
+    run.findings.emplace(path, std::stoi(m[2].str()), m[3].str());
+  }
+  return run;
+}
+
+std::string fixtureDir(const std::string& rule) {
+  return std::string(MPSOC_LINT_FIXTURES) + "/" + rule;
+}
+
+// One pinned finding: the rule's bad fixture must report exactly these
+// (file, line) locations — and nothing else in the directory, which also
+// proves the allow()/RC_TOUCH twin fixtures stay silent.
+struct RuleCase {
+  const char* rule;
+  const char* file;               // relative to tests/lint/
+  std::vector<int> lines;         // every expected finding line in `file`
+};
+
+const std::vector<RuleCase>& ruleCases() {
+  static const std::vector<RuleCase> cases = {
+      {"bare-assert", "bare-assert/src/bad.cpp", {5}},
+      {"nondeterminism", "nondeterminism/src/bad.cpp", {5}},
+      {"unordered-iter", "unordered-iter/src/bad.cpp", {8}},
+      {"missing-override", "missing-override/src/bad.hpp", {6, 7}},
+      {"commit-in-evaluate", "commit-in-evaluate/src/bad.cpp", {5}},
+      {"monitor-registration", "monitor-registration/src/stbus/bad.hpp", {6}},
+      {"raw-txn-fifo", "raw-txn-fifo/src/bad.hpp", {5}},
+      {"idle-busy-poll", "idle-busy-poll/src/bad.cpp", {4}},
+      {"shared-static", "shared-static/src/bad.cpp", {4}},
+      {"evaluate-local-static", "evaluate-local-static/src/bad.cpp", {4}},
+      {"cross-lane-deref", "cross-lane-deref/src/bad.cpp", {11}},
+      {"unlaned-component", "unlaned-component/src/platform/bad.cpp", {5}},
+  };
+  return cases;
+}
+
+}  // namespace
+
+// Every rule directory: the bad fixture yields exactly the pinned findings
+// (exit 1), and the allow()-annotated / RC_TOUCH twins contribute none.
+TEST(Lint, RuleFixturesMatchExpectedFindings) {
+  for (const RuleCase& rc : ruleCases()) {
+    SCOPED_TRACE(rc.rule);
+    const LintRun run = runLint(fixtureDir(rc.rule));
+    EXPECT_EQ(run.exit_code, 1) << run.output;
+    std::set<std::tuple<std::string, int, std::string>> expected;
+    for (int line : rc.lines) expected.emplace(rc.file, line, rc.rule);
+    EXPECT_EQ(run.findings, expected) << run.output;
+  }
+}
+
+// The near-miss corpus must be entirely clean: lookalikes of the rule
+// triggers (static_assert, `static const`, ordered-map range-for, virtuals
+// with `override`) are not findings.
+TEST(Lint, CleanCorpusHasNoFindings) {
+  const LintRun run = runLint(fixtureDir("clean"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_TRUE(run.findings.empty()) << run.output;
+}
+
+// Deterministic report: two invocations over the whole corpus produce
+// byte-identical output (findings are emitted in sorted file order).
+TEST(Lint, ReportIsDeterministic) {
+  const LintRun a = runLint(std::string(MPSOC_LINT_FIXTURES));
+  const LintRun b = runLint(std::string(MPSOC_LINT_FIXTURES));
+  EXPECT_EQ(a.exit_code, 1);
+  EXPECT_EQ(a.output, b.output);
+  // Exactly the union of the per-rule expectations — nothing extra hides in
+  // a fixture meant for another rule.
+  std::set<std::tuple<std::string, int, std::string>> expected;
+  for (const RuleCase& rc : ruleCases()) {
+    for (int line : rc.lines) expected.emplace(rc.file, line, rc.rule);
+  }
+  EXPECT_EQ(a.findings, expected) << a.output;
+}
+
+// --skip excludes matching paths: skipping the corpus root leaves nothing to
+// lint, so the run is clean.  This is the mechanism check.sh and the ctest
+// lint stage rely on to keep the deliberately-bad fixtures out of
+// whole-tree runs.
+TEST(Lint, SkipExcludesCorpus) {
+  const LintRun run =
+      runLint("--skip tests/lint/ " + std::string(MPSOC_LINT_FIXTURES));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_TRUE(run.findings.empty()) << run.output;
+}

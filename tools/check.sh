@@ -14,11 +14,15 @@
 #      then a --kernel-threads 1/2/4 scaling curve — every digest must be
 #      bit-identical to the serial gated run; curve lands in BENCH_kernel.json
 #      (mpsoc-bench-kernel-v2)
-#   6. ThreadSanitizer smoke: separate TSan build (tsan is incompatible with
-#      asan) running fig3-small at --kernel-threads 4 — any data race in the
-#      sharded evaluate phase fails the stage
-#   7. clang-format --dry-run over src/ tests/ tools/ (skipped with a notice
-#      when clang-format is not installed)
+#   6. racecheck matrix: every shipped scenario under the deterministic
+#      lane-ownership checker (mpsoc_run --verify --racecheck) at
+#      --kernel-threads 1, 2 and 4 — any cross-lane evaluate-phase access
+#      fails the stage, and the digests must match the unchecked sweep
+#   7. ThreadSanitizer matrix: separate TSan build (tsan is incompatible with
+#      asan) running every shipped scenario at --kernel-threads 2 and 4 —
+#      any data race in the sharded evaluate phase fails the stage
+#   8. clang-format --dry-run over src/ tests/ tools/ (skipped with a notice
+#      when clang-format is not installed; tests/lint/ fixtures excluded)
 #
 # Usage: tools/check.sh [build-dir]     (default: build-check)
 # Exit status is non-zero if any stage fails; all stages run so one pass
@@ -40,7 +44,10 @@ stage "build"
 cmake --build "$BUILD" -j "$JOBS" || exit 1
 
 stage "mpsoc_lint"
-if ! "$BUILD/tools/mpsoc_lint" "$ROOT/src" "$ROOT/tests" "$ROOT/tools"; then
+# tests/lint/ is the linter's own deliberately-bad fixture corpus (covered by
+# the test_lint ctest) — excluded from the whole-tree run.
+if ! "$BUILD/tools/mpsoc_lint" --skip tests/lint/ \
+      "$ROOT/src" "$ROOT/tests" "$ROOT/tools"; then
   FAILED=1
 fi
 
@@ -182,38 +189,85 @@ else
   FAILED=1
 fi
 
-stage "tsan smoke (sharded kernel at --kernel-threads 4)"
+stage "racecheck matrix (lane-ownership checker at --kernel-threads 1/2/4)"
+# The deterministic lane-ownership checker (MPSOC_RACECHECK) over every
+# shipped scenario with the protocol monitors attached: any cross-lane
+# evaluate-phase access fails the run — at --kernel-threads 1 just as well
+# as on a real pool, because ownership is checked against the shard plan,
+# not the schedule.  Digests must be bit-identical to the unchecked sweep
+# (the checker only observes; it must never perturb).
+RC_OK=1
+mkdir -p "$BUILD/racecheck-smoke"
+if "$BUILD/tools/mpsoc_run" --sweep --json "$BUILD/racecheck-smoke/base.json" \
+      "$ROOT"/tools/scenarios/*.scn > /dev/null; then
+  DB="$(grep -o '"digest": "[0-9a-f]*"' "$BUILD/racecheck-smoke/base.json")"
+else
+  echo "racecheck matrix: unchecked baseline run failed"
+  RC_OK=0
+fi
+if [ "$RC_OK" -eq 1 ]; then
+  for T in 1 2 4; do
+    if ! "$BUILD/tools/mpsoc_run" --verify --racecheck --kernel-threads "$T" \
+          --sweep --json "$BUILD/racecheck-smoke/t$T.json" \
+          "$ROOT"/tools/scenarios/*.scn > /dev/null; then
+      echo "racecheck matrix: violation or failure at --kernel-threads $T"
+      RC_OK=0
+      break
+    fi
+    DR="$(grep -o '"digest": "[0-9a-f]*"' "$BUILD/racecheck-smoke/t$T.json")"
+    if [ -z "$DR" ] || [ "$DR" != "$DB" ]; then
+      echo "racecheck matrix: digests differ from the unchecked run at"
+      echo "threads=$T (the checker must be observation-only)"
+      diff <(echo "$DB") <(echo "$DR")
+      RC_OK=0
+      break
+    fi
+    echo "racecheck matrix: threads=$T clean, digests identical"
+  done
+fi
+[ "$RC_OK" -eq 1 ] || FAILED=1
+
+stage "tsan matrix (sharded kernel, all scenarios at --kernel-threads 2/4)"
 # ThreadSanitizer build in its own tree (tsan and asan cannot share one);
-# the monitored fig3-small run at 4 kernel threads drives every concurrency
-# structure of the sharded evaluate phase: worker-pool handoff, per-lane
-# commit buffers, atomic sleep/wake, the tap mutex and the auditor ledger.
+# the monitored runs drive every concurrency structure of the sharded
+# evaluate phase — worker-pool handoff, per-lane commit buffers, atomic
+# sleep/wake, the tap mutex and the auditor ledger — across the full
+# scenario matrix, both lane-assignment regimes included.
 TSAN_BUILD="$BUILD-tsan"
 if cmake -B "$TSAN_BUILD" -S "$ROOT" -DMPSOC_SANITIZE=thread \
         -DMPSOC_VERIFY=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null; then
   if cmake --build "$TSAN_BUILD" -j "$JOBS" --target mpsoc_run \
         > "$TSAN_BUILD/build.log" 2>&1; then
-    if TSAN_OPTIONS=halt_on_error=1 \
-       "$TSAN_BUILD/tools/mpsoc_run" --verify --kernel-threads 4 \
-          "$BUILD/kernel-smoke/fig3-small.scn" > /dev/null; then
-      echo "tsan smoke: fig3-small clean at --kernel-threads 4"
-    else
-      echo "tsan smoke: data race or failure (see output above)"
-      FAILED=1
-    fi
+    for T in 2 4; do
+      for SCN in "$ROOT"/tools/scenarios/*.scn; do
+        if TSAN_OPTIONS=halt_on_error=1 \
+           "$TSAN_BUILD/tools/mpsoc_run" --verify --kernel-threads "$T" \
+              "$SCN" > /dev/null; then
+          echo "tsan matrix: $(basename "$SCN") clean at --kernel-threads $T"
+        else
+          echo "tsan matrix: data race or failure in $(basename "$SCN")" \
+               "at --kernel-threads $T"
+          FAILED=1
+        fi
+      done
+    done
   else
-    echo "tsan smoke: build failed (tail of log):"
+    echo "tsan matrix: build failed (tail of log):"
     tail -20 "$TSAN_BUILD/build.log"
     FAILED=1
   fi
 else
-  echo "tsan smoke: configure failed"
+  echo "tsan matrix: configure failed"
   FAILED=1
 fi
 
 stage "clang-format --dry-run"
+# tests/lint/ holds deliberately-bad lint fixtures; they are not part of the
+# formatted tree.
 if command -v clang-format >/dev/null 2>&1; then
   if ! find "$ROOT/src" "$ROOT/tests" "$ROOT/tools" \
-        -name '*.cpp' -o -name '*.hpp' | \
+        \( -name '*.cpp' -o -name '*.hpp' \) \
+        ! -path "*/tests/lint/*" | \
        xargs clang-format --dry-run --Werror; then
     FAILED=1
   fi

@@ -54,8 +54,30 @@
 //                       Reported under its own rule name because the fix
 //                       differs: hoist into a member (per-component state is
 //                       lane-local by construction).
+//   cross-lane-deref    an evaluate() body dereferencing a member pointer/
+//                       reference (trailing-underscore convention) to another
+//                       Component reaches into state that may be
+//                       evaluated by a different shard lane this very edge —
+//                       the one access pattern the FIFO endpoint discipline
+//                       cannot see.  Annotate the access with RC_TOUCH(ptr)
+//                       (sim/racecheck.hpp) so the lane-ownership checker
+//                       attributes it, or suppress with an allow() after
+//                       auditing.  Files declaring serialEvaluate() are
+//                       exempt: their evaluate() runs on the kernel thread
+//                       after the lane barrier and may inspect anything.
+//   unlaned-component   a file under src/platform that constructs a known
+//                       Component subclass but contains no lane-assignment
+//                       path (neither setEvalLane nor assignEvalLanes):
+//                       the component silently joins its clock domain's
+//                       default lane, which serializes it with — or, worse,
+//                       hides a popAt co-sharding requirement from — the
+//                       topology lane map that Platform::assignEvalLanes
+//                       maintains and MPSOC_RACECHECK machine-checks.
 //
-// Usage: mpsoc_lint <dir-or-file>...   (exit 1 when any finding is reported)
+// Usage: mpsoc_lint [--skip <substring>]... <dir-or-file>...
+//        (exit 1 when any finding is reported)
+// --skip drops any scanned path containing <substring> — used to exclude the
+// deliberately-dirty lint fixture corpus (tests/lint/) from whole-tree runs.
 // Suppress a finding with a trailing comment:  // mpsoc-lint: allow(<rule>)
 //
 // The scanner is a line-oriented lexer, not a parser: it strips comments and
@@ -64,9 +86,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <regex>
 #include <set>
 #include <sstream>
@@ -160,27 +184,87 @@ class FileLinter {
          {"src/stbus", "src/ahb", "src/axi", "src/bridge", "src/mem"}) {
       if (path_.find(dir) != std::string::npos) protocol_file_ = true;
     }
+    // The unlaned-component rule covers platform assembly, where every
+    // constructed component must flow through a lane-assignment path.
+    platform_file_ = path_.find("src/platform") != std::string::npos;
     const std::string ports = "txn/ports.hpp";
     is_ports_header_ = path_.size() >= ports.size() &&
                        path_.compare(path_.size() - ports.size(),
                                      ports.size(), ports) == 0;
+    // Component-type registry for the cross-lane-deref / unlaned-component
+    // rules: the kernel bases plus this repo's concrete component classes
+    // (collectComponentDecls adds any subclass declared in the scanned file
+    // itself, so new components are covered without touching this list).
+    component_types_ = {
+        "Component",  "InterconnectBase", "MasterBase", "AhbLayer",
+        "AxiBus",     "Bridge",           "DmaEngine",  "Iptg",
+        "LmiController", "Router",        "SimpleMemory", "St220",
+        "StbusNode",  "TimelineRecorder", "VcdSampler", "Watchdog",
+        "SlaveSide",  "MasterSide",
+    };
   }
 
   std::vector<Finding> run() {
     std::ifstream ifs(path_);
     std::string raw;
     bool in_block = false;
-    std::size_t lineno = 0;
+    std::vector<std::pair<std::string, std::string>> lines;  // (code, comment)
     while (std::getline(ifs, raw)) {
-      ++lineno;
       std::string comment;
-      const std::string code = stripLine(raw, in_block, comment);
+      std::string code = stripLine(raw, in_block, comment);
+      lines.emplace_back(std::move(code), std::move(comment));
+    }
+    // Pass 1: component-type and component-pointer declarations.  Members
+    // are conventionally declared *below* the methods that use them, so the
+    // cross-lane-deref rule needs the full declaration set before judging
+    // any evaluate() body.
+    for (const auto& [code, comment] : lines) {
+      collectComponentDecls(code, comment);
+    }
+    // Pass 2: everything line-ordered.
+    std::size_t lineno = 0;
+    for (const auto& [code, comment] : lines) {
+      ++lineno;
       collectUnorderedDecls(code);
       trackEvaluateBody(code);
       if (code.find("attachMonitors") != std::string::npos) {
         has_attach_monitors_ = true;
       }
+      if (code.find("serialEvaluate") != std::string::npos) {
+        has_serial_evaluate_ = true;
+      }
+      if (code.find("setEvalLane") != std::string::npos ||
+          code.find("assignEvalLanes") != std::string::npos) {
+        has_lane_assignment_ = true;
+      }
       checkLine(code, comment, lineno);
+    }
+    // cross-lane-deref verdict: deferred to end of file because both exits —
+    // a serialEvaluate() declaration (the component runs on the kernel
+    // thread after the lane barrier) and an RC_TOUCH of the dereferenced
+    // pointer — may appear anywhere in the file.
+    if (!has_serial_evaluate_) {
+      for (const auto& cand : deref_candidates_) {
+        if (rc_touched_names_.count(cand.name)) continue;
+        report(cand.line, "cross-lane-deref",
+               "evaluate() dereferences '" + cand.name + "' (" + cand.type +
+                   "*), a component that may be evaluated by a different "
+                   "shard lane this very edge; annotate the access with "
+                   "RC_TOUCH(" + cand.name + ") so the lane-ownership "
+                   "checker attributes it (sim/racecheck.hpp), co-shard the "
+                   "two components, or audit and allow()");
+      }
+    }
+    if (first_construct_line_ != 0 && !has_lane_assignment_ &&
+        !unlaned_rule_suppressed_) {
+      report(first_construct_line_, "unlaned-component",
+             "'" + first_construct_type_ +
+                 "' is constructed in platform-assembly code but this file "
+                 "has no lane-assignment path (neither setEvalLane nor "
+                 "assignEvalLanes): the component silently joins its clock "
+                 "domain's default lane, invisible to the topology lane map "
+                 "that Platform::assignEvalLanes maintains and "
+                 "MPSOC_RACECHECK machine-checks");
     }
     if (first_poll_line_ != 0 && !has_idle_or_sleep_ &&
         !poll_rule_suppressed_) {
@@ -214,6 +298,42 @@ class FileLinter {
     auto begin = std::sregex_iterator(code.begin(), code.end(), decl);
     for (auto it = begin; it != std::sregex_iterator(); ++it) {
       unordered_names_.insert((*it)[1].str());
+    }
+  }
+
+  /// Extend the component-type registry with subclasses declared in this
+  /// file, and remember every variable/member declared as a pointer or
+  /// reference to a component type (the cross-lane-deref candidates).
+  void collectComponentDecls(const std::string& code,
+                             const std::string& comment) {
+    static const std::regex subclass(
+        R"(class\s+(\w+)(?:\s+final)?\s*:\s*(?:public|protected|private)\s+(?:[\w:]+::)?(\w+)\b)");
+    std::smatch m;
+    if (std::regex_search(code, m, subclass) &&
+        component_types_.count(m[2].str())) {
+      component_types_.insert(m[1].str());
+    }
+    // Member declarations only (trailing-underscore convention): locals and
+    // parameters are lane-local by construction unless they alias a member,
+    // in which case the member's own dereference is what gets flagged.
+    static const std::regex ptr_decl(
+        R"(\b(?:\w+::)*(\w+)\s*[*&]\s*(?:const\s+)?(\w+_)\s*(?:[;=,){]|$))");
+    auto begin = std::sregex_iterator(code.begin(), code.end(), ptr_decl);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      if (component_types_.count((*it)[1].str())) {
+        // An allow() on the *declaration* exempts the name file-wide: the
+        // annotation then documents one audited aliasing relationship
+        // instead of every dereference line.
+        if (suppressed(comment, "cross-lane-deref")) {
+          rc_touched_names_.insert((*it)[2].str());
+        }
+        component_ptr_types_[(*it)[2].str()] = (*it)[1].str();
+      }
+    }
+    static const std::regex rc_touch(R"(RC_TOUCH\s*\(\s*&?\s*(\w+))");
+    begin = std::sregex_iterator(code.begin(), code.end(), rc_touch);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      rc_touched_names_.insert((*it)[1].str());
     }
   }
 
@@ -390,6 +510,49 @@ class FileLinter {
       }
     }
 
+    // cross-lane-deref: collect dereferences of component pointers inside
+    // evaluate() bodies.  Candidates only — the verdict (see run()) waits for
+    // end of file, where serialEvaluate() / RC_TOUCH exemptions are known.
+    if (kernel_code_ && evaluate_depth_ > 0 &&
+        !component_ptr_types_.empty() &&
+        !suppressed(comment, "cross-lane-deref") &&
+        code.find("RC_TOUCH") == std::string::npos) {
+      for (const auto& [name, type] : component_ptr_types_) {
+        bool hit = false;
+        for (std::size_t pos = code.find(name); pos != std::string::npos;
+             pos = code.find(name, pos + 1)) {
+          if (!boundaryBefore(code, pos)) continue;
+          const std::size_t end = pos + name.size();
+          const bool deref =
+              (end + 1 < code.size() && code[end] == '-' &&
+               code[end + 1] == '>') ||
+              (end < code.size() && code[end] == '.');
+          if (deref) {
+            hit = true;
+            break;
+          }
+        }
+        if (hit) deref_candidates_.push_back({lineno, name, type});
+      }
+    }
+
+    // unlaned-component: remember the first component construction in
+    // platform-assembly code; the verdict is issued at end of file, once it
+    // is known whether any lane-assignment path exists.
+    if (platform_file_ && first_construct_line_ == 0) {
+      static const std::regex construct(
+          R"((?:make_unique\s*<\s*|\bnew\s+)(?:\w+::)*(\w+))");
+      std::smatch m;
+      if (std::regex_search(code, m, construct) &&
+          component_types_.count(m[1].str())) {
+        if (suppressed(comment, "unlaned-component")) {
+          unlaned_rule_suppressed_ = true;
+        }
+        first_construct_line_ = lineno;
+        first_construct_type_ = m[1].str();
+      }
+    }
+
     // commit-in-evaluate: explicit commit() calls inside evaluate() bodies.
     if (evaluate_depth_ > 0 && !suppressed(comment, "commit-in-evaluate")) {
       static const std::regex commit_call(R"((?:\.|->)commit\s*\(\s*\))");
@@ -401,10 +564,26 @@ class FileLinter {
     }
   }
 
+  struct DerefCandidate {
+    std::size_t line;
+    std::string name;
+    std::string type;
+  };
+
   std::string path_;
   bool kernel_code_;
   bool protocol_file_ = false;
+  bool platform_file_ = false;
   bool is_ports_header_ = false;
+  bool has_serial_evaluate_ = false;
+  bool has_lane_assignment_ = false;
+  bool unlaned_rule_suppressed_ = false;
+  std::size_t first_construct_line_ = 0;
+  std::string first_construct_type_;
+  std::set<std::string> component_types_;
+  std::map<std::string, std::string> component_ptr_types_;
+  std::set<std::string> rc_touched_names_;
+  std::vector<DerefCandidate> deref_candidates_;
   bool has_attach_monitors_ = false;
   bool monitor_rule_suppressed_ = false;
   std::size_t first_component_line_ = 0;
@@ -421,22 +600,38 @@ class FileLinter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: mpsoc_lint <dir-or-file>...\n";
+  std::vector<std::string> skips;
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--skip") == 0 && i + 1 < argc) {
+      skips.emplace_back(argv[++i]);
+    } else {
+      roots.emplace_back(argv[i]);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: mpsoc_lint [--skip <substring>]... <dir-or-file>...\n";
     return 2;
   }
+  const auto skipped = [&](const fs::path& p) {
+    const std::string s = p.string();
+    for (const auto& sub : skips) {
+      if (s.find(sub) != std::string::npos) return true;
+    }
+    return false;
+  };
 
   std::vector<fs::path> files;
-  for (int i = 1; i < argc; ++i) {
-    fs::path root(argv[i]);
+  for (const fs::path& root : roots) {
     if (fs::is_directory(root)) {
       for (const auto& e : fs::recursive_directory_iterator(root)) {
-        if (e.is_regular_file() && isSourceFile(e.path())) {
+        if (e.is_regular_file() && isSourceFile(e.path()) &&
+            !skipped(e.path())) {
           files.push_back(e.path());
         }
       }
     } else if (fs::is_regular_file(root)) {
-      files.push_back(root);
+      if (!skipped(root)) files.push_back(root);
     } else {
       std::cerr << "mpsoc_lint: no such file or directory: " << root << "\n";
       return 2;

@@ -10,6 +10,12 @@
 //   --verify        attach the protocol monitors and transaction auditor
 //                   (src/verify) to every platform; a violation aborts with
 //                   exit code 1
+//   --racecheck     enable the deterministic lane-ownership race checker on
+//                   every platform (requires a build with MPSOC_RACECHECK=ON;
+//                   warns and runs unchecked otherwise).  Any cross-lane
+//                   evaluate-phase access aborts with exit code 1.  Valid —
+//                   and equally effective — at any --kernel-threads value,
+//                   including the default serial kernel
 //   --no-gating     disable kernel activity gating (evaluate every component
 //                   on every edge).  Digests must not change — the check.sh
 //                   kernel-perf smoke diffs gated vs. ungated runs with this
@@ -49,8 +55,8 @@ namespace {
 
 void usage() {
   std::cerr << "usage: mpsoc_run [--csv] [--json <path|->] [--normalize N] "
-               "[--verify] [--no-gating] [--kernel-threads N] [--sweep] "
-               "[-j N] scenario.scn [...]\n";
+               "[--verify] [--racecheck] [--no-gating] [--kernel-threads N] "
+               "[--sweep] [-j N] scenario.scn [...]\n";
 }
 
 }  // namespace
@@ -59,6 +65,7 @@ int main(int argc, char** argv) {
   bool want_csv = false;
   bool want_sweep = false;
   bool want_verify = false;
+  bool want_racecheck = false;
   bool no_gating = false;
   long kernel_threads = -1;  // -1 = keep each scenario's own setting
   std::string json_path;
@@ -73,6 +80,12 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       want_verify = true;
+    } else if (std::strcmp(argv[i], "--racecheck") == 0) {
+      want_racecheck = true;
+#if !MPSOC_RACECHECK
+      std::cerr << "warning: --racecheck requested but this build has "
+                   "MPSOC_RACECHECK=OFF; running unchecked\n";
+#endif
     } else if (std::strcmp(argv[i], "--no-gating") == 0) {
       no_gating = true;
     } else if (std::strcmp(argv[i], "--kernel-threads") == 0 && i + 1 < argc) {
@@ -105,6 +118,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (want_verify) sc.config.verify = true;
+    if (want_racecheck) sc.config.racecheck = true;
     if (no_gating) sc.config.activity_gating = false;
     if (kernel_threads >= 0) {
       sc.config.kernel_threads = static_cast<unsigned>(kernel_threads);
