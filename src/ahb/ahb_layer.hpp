@@ -60,6 +60,11 @@ class AhbLayer final : public txn::InterconnectBase {
   std::uint32_t wdata_left_ = 0;
   RspStream stream_;
   stats::ChannelUtilization chan_;
+
+  SIM_STATE_MEMBERS_WITH_BASE(txn::InterconnectBase, arb_, state_, active_,
+                              active_ini_, active_tgt_, wdata_left_, stream_,
+                              chan_);
+  SIM_STATE_EXEMPT(cfg_, "immutable configuration");
 };
 
 }  // namespace mpsoc::ahb

@@ -72,6 +72,8 @@ class AxiBus final : public txn::InterconnectBase {
   struct ArEngine {
     txn::Arbiter arb;
     stats::ChannelUtilization chan;
+
+    auto simStateMembers() { return std::tie(arb, chan); }
   };
   /// Write address+data engine (per target): 1 + beats cycles per burst.
   struct AwEngine {
@@ -80,12 +82,18 @@ class AxiBus final : public txn::InterconnectBase {
     std::uint32_t beats_left = 0;
     std::size_t stream_target = 0;
     stats::ChannelUtilization chan;
+
+    auto simStateMembers() {
+      return std::tie(arb, streaming, beats_left, stream_target, chan);
+    }
   };
   /// Per-initiator read-data link with optional beat interleaving.
   struct REngine {
     std::vector<RspStream> active;
     std::size_t last_pick = 0;
     stats::ChannelUtilization chan;
+
+    auto simStateMembers() { return std::tie(active, last_pick, chan); }
   };
 
   void readRequestPath();
@@ -110,6 +118,10 @@ class AxiBus final : public txn::InterconnectBase {
   std::vector<bool> ar_issued_;
   std::vector<bool> w_granted_;
   bool finalized_ = false;
+
+  SIM_STATE_MEMBERS_WITH_BASE(txn::InterconnectBase, ar_, aw_, r_, reserved_,
+                              ar_issued_, w_granted_, finalized_);
+  SIM_STATE_EXEMPT(cfg_, "immutable configuration");
 };
 
 }  // namespace mpsoc::axi

@@ -68,6 +68,12 @@ class Bridge::SlaveSide final : public sim::Component {
   // instrumented by MPSOC_RACECHECK's endpoint keys), a const config read,
   // or the side-local slaveIdle() predicate.
   Bridge& b_;  // mpsoc-lint: allow(cross-lane-deref)
+
+  // The Bridge itself is not a Component; each side manifests the bridge
+  // state its own evaluate() mutates (the CDC FIFOs are registered
+  // Updatables, checkpointed by the kernel).
+  SIM_STATE_MEMBERS(b_.staged_a_, b_.pending_, b_.acks_, b_.reads_in_flight_,
+                    b_.busy_, b_.busy_until_);
 };
 
 class Bridge::MasterSide final : public txn::MasterBase {
@@ -161,6 +167,11 @@ class Bridge::MasterSide final : public txn::MasterBase {
   std::deque<Staged> staged_;
   std::deque<RequestPtr> done_;
   std::unordered_map<std::uint64_t, RequestPtr> origin_;
+
+  // origin_ is keyed by volatile clone ids: the kernel digests its values
+  // commutatively, so the digest stays stable across id renumbering.
+  SIM_STATE_MEMBERS_WITH_BASE(txn::MasterBase, staged_, done_, origin_,
+                              b_.reads_fwd_, b_.writes_fwd_);
 };
 
 // ---------------------------------------------------------------------------

@@ -25,6 +25,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 
 #include "sim/component.hpp"
@@ -108,12 +109,16 @@ class Bridge {
   struct PendingRead {
     txn::RequestPtr original;
     bool data_ready = false;  ///< side-B response arrived (via bwd FIFO)
+
+    auto simStateMembers() { return std::tie(original, data_ready); }
   };
   /// A request absorbed on side A, waiting out the A-side latency before
   /// entering the forward FIFO.
   struct Staged {
     txn::RequestPtr req;
     sim::Picos ready_at;
+
+    auto simStateMembers() { return std::tie(req, ready_at); }
   };
 
   class SlaveSide;

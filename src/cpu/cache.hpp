@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <tuple>
 #include <vector>
 
 namespace mpsoc::cpu {
@@ -47,12 +48,17 @@ class Cache {
   }
   std::uint32_t lineBytes() const { return cfg_.line_bytes; }
 
+  /// State-manifest hook (src/sim/state.hpp); cfg_/sets_ are configuration.
+  auto simStateMembers() { return std::tie(lines_, tick_, hits_, misses_); }
+
  private:
   struct Line {
     bool valid = false;
     bool dirty = false;
     std::uint64_t tag = 0;
     std::uint64_t lru = 0;  ///< larger = more recently used
+
+    auto simStateMembers() { return std::tie(valid, dirty, tag, lru); }
   };
 
   std::uint64_t setOf(std::uint64_t addr) const {

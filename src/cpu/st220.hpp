@@ -86,6 +86,12 @@ class St220 final : public txn::MasterBase {
   bool fill_pending_ = false;
   std::uint64_t pending_fill_addr_ = 0;
   std::uint32_t pending_fill_bytes_ = 0;
+
+  SIM_STATE_MEMBERS_WITH_BASE(txn::MasterBase, icache_, dcache_, rng_, pc_,
+                              data_seq_, bundles_done_, active_cycles_,
+                              stall_cycles_, stalled_, fill_pending_,
+                              pending_fill_addr_, pending_fill_bytes_);
+  SIM_STATE_EXEMPT(cfg_, "immutable configuration");
 };
 
 }  // namespace mpsoc::cpu

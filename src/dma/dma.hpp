@@ -25,6 +25,8 @@ struct DmaDescriptor {
   std::uint64_t src = 0;
   std::uint64_t dst = 0;
   std::uint64_t bytes = 0;
+
+  auto simStateMembers() { return std::tie(src, dst, bytes); }
 };
 
 struct DmaConfig {
@@ -70,6 +72,10 @@ class DmaEngine final : public txn::MasterBase {
     std::uint32_t beats;
     std::uint64_t desc_idx;
     bool last_of_descriptor;
+
+    auto simStateMembers() {
+      return std::tie(dst, beats, desc_idx, last_of_descriptor);
+    }
   };
 
   void issueNextRead();
@@ -94,6 +100,13 @@ class DmaEngine final : public txn::MasterBase {
   std::uint64_t bytes_copied_ = 0;
   std::uint64_t descs_done_ = 0;
   std::function<void(const DmaDescriptor&)> on_complete_;
+
+  SIM_STATE_MEMBERS_WITH_BASE(txn::MasterBase, chain_, desc_idx_,
+                              read_offset_, write_queue_, pending_reads_,
+                              write_descs_, desc_slices_left_,
+                              reads_inflight_, bytes_copied_, descs_done_);
+  SIM_STATE_EXEMPT(cfg_, "immutable configuration");
+  SIM_STATE_EXEMPT(on_complete_, "observer callback");
 };
 
 }  // namespace mpsoc::dma

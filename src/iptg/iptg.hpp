@@ -131,6 +131,12 @@ class Iptg final : public txn::MasterBase {
       return profile.total_transactions != 0 &&
              issued >= profile.total_transactions;
     }
+
+    /// profile is per-agent immutable configuration; everything else mutates.
+    auto simStateMembers() {
+      return std::tie(rng, issued, retired, outstanding, next_addr,
+                      blocked_until, seq_pos, msg_remaining, msg_id);
+    }
   };
 
   bool agentReady(const AgentState& a) const;
@@ -141,6 +147,10 @@ class Iptg final : public txn::MasterBase {
   std::vector<AgentState> agents_;
   std::size_t rr_next_ = 0;
   std::uint64_t next_msg_id_;
+
+  SIM_STATE_MEMBERS_WITH_BASE(txn::MasterBase, agents_, rr_next_,
+                              next_msg_id_);
+  SIM_STATE_EXEMPT(cfg_, "immutable configuration");
 };
 
 }  // namespace mpsoc::iptg

@@ -101,6 +101,10 @@ class LmiController final : public sim::Component {
   std::uint64_t served_ = 0;
   std::uint64_t accesses_ = 0;
   std::uint64_t merged_ = 0;
+
+  SIM_STATE_MEMBERS(device_, engine_busy_until_, served_, accesses_, merged_);
+  SIM_STATE_EXEMPT(cfg_, "immutable configuration");
+  SIM_STATE_EXEMPT(observer_, "observer callback");
 };
 
 }  // namespace mpsoc::mem

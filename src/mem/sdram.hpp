@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <tuple>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -111,6 +112,14 @@ class SdramDevice {
     return n ? static_cast<double>(hits_) / static_cast<double>(n) : 0.0;
   }
 
+  /// State-manifest hook (src/sim/state.hpp): bank/bus/refresh state plus the
+  /// row-outcome counters.  timing_/geom_/clk_period_ are configuration and
+  /// cmd_obs_ is an observer callback (exempt by policy).
+  auto simStateMembers() {
+    return std::tie(banks_, data_bus_free_, next_refresh_, hits_, misses_,
+                    conflicts_, refreshes_);
+  }
+
  private:
   struct Bank {
     bool open = false;
@@ -118,6 +127,8 @@ class SdramDevice {
     sim::Picos act_ok = 0;  ///< earliest next ACTIVATE (tRC / tRP)
     sim::Picos pre_ok = 0;  ///< earliest next PRECHARGE (tRAS / tWR)
     sim::Picos cas_ok = 0;  ///< earliest next READ/WRITE (tRCD)
+
+    auto simStateMembers() { return std::tie(open, row, act_ok, pre_ok, cas_ok); }
   };
 
   sim::Picos cycles(unsigned n) const {

@@ -45,7 +45,8 @@ void SimpleMemory::evaluate() {
   txn::RequestPtr r = port_.req.pop();
   ++accesses_;
   beats_ += r->beats;
-  if (observer_) observer_(now, r);
+  // Trace observers only see the forward pass of deep-check replay.
+  if (observer_ && !clk_.simulator().inReplay()) observer_(now, r);
 
   if (r->op == Opcode::Read) {
     auto rsp = std::make_shared<txn::Response>();

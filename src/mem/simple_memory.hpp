@@ -60,6 +60,10 @@ class SimpleMemory final : public sim::Component {
   sim::Picos busy_until_ = 0;
   std::uint64_t accesses_ = 0;
   std::uint64_t beats_ = 0;
+
+  SIM_STATE_MEMBERS(busy_until_, accesses_, beats_);
+  SIM_STATE_EXEMPT(cfg_, "immutable configuration");
+  SIM_STATE_EXEMPT(observer_, "observer callback");
 };
 
 }  // namespace mpsoc::mem

@@ -57,6 +57,9 @@ class NocMesh::MasterAdapter final : public sim::Component {
   txn::InitiatorPort& port_;
   NodeId at_;
   Router::PacketFifo& egress_;
+
+  SIM_STATE_NONE();
+  SIM_STATE_EXEMPT(at_, "immutable configuration (node id)");
 };
 
 // --------------------------------------------------------------------------
@@ -114,6 +117,9 @@ class NocMesh::SlaveAdapter final : public sim::Component {
   NodeId at_;
   Router::PacketFifo& egress_;
   std::unordered_map<std::uint64_t, NodeId> origin_;
+
+  SIM_STATE_MEMBERS(origin_);
+  SIM_STATE_EXEMPT(at_, "immutable configuration (node id)");
 };
 
 // --------------------------------------------------------------------------

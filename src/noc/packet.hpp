@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <tuple>
 
 #include "txn/transaction.hpp"
 
@@ -37,6 +38,8 @@ struct NocPacket {
   static std::uint32_t responseFlits(const txn::Request& r) {
     return 1 + (r.op == txn::Opcode::Read ? r.beats : 0);
   }
+
+  auto simStateMembers() { return std::tie(kind, req, src, dst, flits); }
 };
 
 using NocPacketPtr = std::shared_ptr<NocPacket>;

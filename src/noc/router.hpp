@@ -78,6 +78,12 @@ class Router final : public sim::Component {
     std::uint64_t last_msg = 0;     ///< message-locking state
     bool has_last = false;
     stats::ChannelUtilization chan;
+
+    /// sink is wiring (downstream FIFO pointer), everything else mutates.
+    auto simStateMembers() {
+      return std::tie(streaming, cycles_left, push_in, last_input, last_msg,
+                      has_last, chan);
+    }
   };
 
   void tickEngine(OutputEngine& e);
@@ -89,6 +95,14 @@ class Router final : public sim::Component {
   std::array<std::unique_ptr<PacketFifo>, kDirs> in_;
   std::array<OutputEngine, kDirs> out_;
   std::uint64_t routed_ = 0;
+
+  SIM_STATE_MEMBERS(out_, routed_);
+  SIM_STATE_EXEMPT(x_, "immutable configuration (mesh coordinate)");
+  SIM_STATE_EXEMPT(y_, "immutable configuration (mesh coordinate)");
+  SIM_STATE_EXEMPT(mesh_w_, "immutable configuration (mesh size)");
+  SIM_STATE_EXEMPT(mesh_h_, "immutable configuration (mesh size)");
+  SIM_STATE_EXEMPT(cfg_, "immutable configuration");
+  SIM_STATE_EXEMPT(in_, "registered Updatables (kernel checkpoints FIFOs)");
 };
 
 }  // namespace mpsoc::noc

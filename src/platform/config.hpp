@@ -124,6 +124,18 @@ struct PlatformConfig {
   /// sharding tests and the check.sh kernel-perf smoke both assert.
   unsigned kernel_threads = 1;
 
+  /// Checkpoint-equivalence oracle (see DESIGN.md "State manifests &
+  /// checkpointing"): at `statecheck_at_ps` the run checkpoints the full
+  /// platform state, executes `statecheck_edges` further edges, digests,
+  /// rewinds to the checkpoint, re-executes the same edges and asserts the
+  /// two digests are bit-identical — any component with an incomplete
+  /// SIM_STATE manifest diverges deterministically.  Requires
+  /// MPSOC_STATECHECK=ON to observe anything (with it OFF this flag is
+  /// ignored).
+  bool statecheck = false;
+  sim::Picos statecheck_at_ps = 1'000'000;  // 1 us into the run
+  std::uint64_t statecheck_edges = 2000;
+
   /// Kernel activity gating (see Simulator::setActivityGating): skip
   /// evaluate() for components that declared themselves quiescent.  On by
   /// default; behaviour-neutral by contract (sleep is only legal while

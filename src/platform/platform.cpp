@@ -31,6 +31,10 @@ Platform::Platform(PlatformConfig cfg) : cfg_(cfg) {
     verify_ = std::make_unique<verify::VerifyContext>();
     attachVerification();
   }
+  // Out-of-graph state holders join the checkpoint set in construction order
+  // (the order labels digest items, so it must be deterministic).
+  sim_.addCheckpointable(&mem_fifo_probe_);
+  if (verify_) sim_.addCheckpointable(verify_.get());
   sim_.setKernelThreads(cfg_.kernel_threads);
   if (cfg_.racecheck) sim_.setRaceCheck(true);
   // The race checker validates the lane map even on a serial kernel, so the
@@ -406,7 +410,50 @@ void Platform::buildDma() {
   }
 }
 
+void Platform::statecheckOracle() {
+#if MPSOC_STATECHECK
+  using DigestItems = std::vector<std::pair<std::string, std::uint64_t>>;
+  // Warm up to the checkpoint instant so the window covers a busy platform,
+  // not the cold-start transient.
+  sim_.run(cfg_.statecheck_at_ps);
+  sim_.checkpoint();
+  for (std::uint64_t i = 0; i < cfg_.statecheck_edges && sim_.step(); ++i) {
+  }
+  DigestItems first;
+  sim_.stateDigestItems(first);
+  const sim::Picos first_end = sim_.now();
+
+  sim_.restoreCheckpoint();
+  for (std::uint64_t i = 0; i < cfg_.statecheck_edges && sim_.step(); ++i) {
+  }
+  DigestItems second;
+  sim_.stateDigestItems(second);
+
+  SIM_CHECK(first_end == sim_.now(),
+            "statecheck: replayed window ended at t=" << sim_.now()
+                << " ps, first pass ended at t=" << first_end
+                << " ps (kernel time state not restored)");
+  SIM_CHECK(first.size() == second.size(),
+            "statecheck: digest item count changed across rewind ("
+                << first.size() << " vs " << second.size()
+                << " — state holders registered mid-window?)");
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    SIM_CHECK(first[i].second == second[i].second,
+              "statecheck divergence at t=" << sim_.now() << " ps after "
+                  << cfg_.statecheck_edges << " edges: " << first[i].first
+                  << " digests 0x" << std::hex << first[i].second
+                  << " (first pass) vs 0x" << second[i].second << std::dec
+                  << " (replay) — its SIM_STATE manifest is incomplete or its "
+                     "evaluate() depends on un-checkpointed state");
+  }
+  // The two passes converged; the run continues from the window's end.
+#endif
+}
+
 sim::Picos Platform::run(sim::Picos max_ps) {
+#if MPSOC_STATECHECK
+  if (cfg_.statecheck) statecheckOracle();
+#endif
   const sim::Picos t = sim_.runUntilIdle(max_ps);
   sim_.finish();
   // Leak audit only when the workload actually finished — a run that hit
@@ -416,6 +463,9 @@ sim::Picos Platform::run(sim::Picos max_ps) {
 }
 
 sim::Picos Platform::runFor(sim::Picos duration_ps) {
+#if MPSOC_STATECHECK
+  if (cfg_.statecheck) statecheckOracle();
+#endif
   const sim::Picos t = sim_.run(sim_.now() + duration_ps);
   sim_.finish();
   if (verify_) verify_->finish(/*expect_drained=*/false);

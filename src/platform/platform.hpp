@@ -121,6 +121,13 @@ class Platform {
   /// Walk every bus, bridge, memory and master, attaching monitors and the
   /// conservation auditor to `verify_`.  Called once, after construction.
   void attachVerification();
+  /// Checkpoint-equivalence oracle (cfg_.statecheck): advance to
+  /// cfg_.statecheck_at_ps, checkpoint, execute cfg_.statecheck_edges edges
+  /// and digest, rewind, re-execute the same window and digest again; raises
+  /// InvariantViolation naming the first diverging state holder when the two
+  /// digests differ.  The run then continues normally from the end of the
+  /// window.  No-op when MPSOC_STATECHECK is compiled out.
+  void statecheckOracle();
   /// Partition the platform into evaluate-phase shard lanes for the
   /// multi-threaded kernel (see Simulator::setKernelThreads).  Components
   /// that pop each other's FIFOs out of order mid-edge are co-sharded;

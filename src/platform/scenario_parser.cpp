@@ -136,6 +136,14 @@ NamedScenario parseScenario(const std::string& text) {
       cfg.kernel_threads = static_cast<unsigned>(parseU64(val, line_no));
     } else if (key == "racecheck") {
       cfg.racecheck = parseBool(val, line_no);
+    } else if (key == "verify") {
+      cfg.verify = parseBool(val, line_no);
+    } else if (key == "statecheck") {
+      cfg.statecheck = parseBool(val, line_no);
+    } else if (key == "statecheck_at_ps") {
+      cfg.statecheck_at_ps = static_cast<sim::Picos>(parseU64(val, line_no));
+    } else if (key == "statecheck_edges") {
+      cfg.statecheck_edges = parseU64(val, line_no);
     } else {
       fail(line_no, "unknown scenario option '" + key + "'");
     }

@@ -22,8 +22,15 @@
 //   burst_override = 0
 //   include_cpu = true
 //   seed = 1
+//   verify = false              # attach protocol monitors + auditor
+//   racecheck = false           # lane-ownership race checking
+//   statecheck = false          # checkpoint-equivalence oracle
+//   statecheck_at_ps = 1000000  # oracle checkpoint instant
+//   statecheck_edges = 2000     # oracle window length (edges)
 //
 // Unknown keys are errors (with line numbers), so scenario files stay honest.
+// Keys that request a compile-gated checker the build removed warn at run
+// time (see platform/feature_gates.hpp).
 
 #include <string>
 

@@ -60,6 +60,12 @@ class Updatable {
   /// out-of-order removal positions).  Two evaluate passes that stage
   /// different amounts or shapes of work produce different digests.
   virtual std::uint64_t stagedDigest() const { return 0; }
+  /// Called before the forward evaluate pass of a deep-checked edge.  An
+  /// updatable whose staging can span edges (AsyncFifo: a pop staged at a
+  /// consumer-only edge commits at the producer's next edge) records the
+  /// carried-over staging here so rollbackStaged() can restore it instead
+  /// of zeroing it.
+  virtual void snapshotStaged() {}
   /// True when staged state can be discarded and the edge re-evaluated
   /// (requires value-preserving pops; see SyncFifo).
   virtual bool replaySupported() const { return false; }
@@ -68,6 +74,26 @@ class Updatable {
   /// Validate internal structural invariants; raise InvariantViolation on
   /// corruption.  Called per edge in deep-check mode.
   virtual void checkInvariants() const {}
+  /// Name used by deep-check divergence reports (FIFOs return their
+  /// instance name so a replay mismatch points at the guilty queue).
+  virtual const std::string& updatableName() const {
+    static const std::string anon = "<unnamed updatable>";
+    return anon;
+  }
+
+  // --- checkpoint hooks (see Simulator::checkpoint) -------------------------
+
+  /// Snapshot all committed state so the kernel can restore this updatable to
+  /// the current instant later (MPSOC_STATECHECK oracle; the ROADMAP's
+  /// fast-forward mode).  Distinct from the per-edge staged-state hooks
+  /// above: a checkpoint is taken between edges (Phase::Outside) and captures
+  /// the registered contents, not the in-edge staging.  Return false (the
+  /// default) when unsupported — Simulator::checkpoint() then refuses.
+  virtual bool saveCheckpoint() { return false; }
+  virtual void restoreCheckpoint() {}
+  /// Canonical digest of the committed contents (volatile transaction ids
+  /// excluded; see src/sim/state.hpp).
+  virtual std::uint64_t checkpointDigest() const { return 0; }
 
  private:
   friend class ClockDomain;

@@ -29,6 +29,20 @@ void Component::sleep() {
   clk_.simulator().noteSleep();
 }
 
+void Component::restoreStateBase() {
+  // Mirror sleep()/wake() without their contracts: a restore may legally put
+  // the component back into either activity state, and only the simulator's
+  // asleep counter must stay balanced.
+  const bool cur = asleep_.load(std::memory_order_relaxed);
+  if (cur == state_base_asleep_) return;
+  asleep_.store(state_base_asleep_, std::memory_order_relaxed);
+  if (state_base_asleep_) {
+    clk_.simulator().noteSleep();
+  } else {
+    clk_.simulator().noteWake();
+  }
+}
+
 void Component::wake() {
   // wake() may be called concurrently from another lane (a programming
   // interface such as DmaEngine::program) as well as from commit-time FIFO

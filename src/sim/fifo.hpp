@@ -43,6 +43,7 @@
 #include "sim/component.hpp"
 #include "sim/racecheck.hpp"
 #include "sim/simulator.hpp"
+#include "sim/state.hpp"
 #include "sim/time.hpp"
 
 #ifndef MPSOC_VERIFY
@@ -256,6 +257,8 @@ class SyncFifo final : public Updatable {
     return std::is_copy_constructible_v<T>;
   }
 
+  const std::string& updatableName() const override { return name_; }
+
   std::uint64_t stagedDigest() const override {
     std::uint64_t h = detail::kFnvBasis;
     h = detail::fnvCombine(h, staged_n_);
@@ -294,6 +297,55 @@ class SyncFifo final : public Updatable {
                                << " exceeds capacity " << capacity_);
     SIM_CHECK_CTX(head_ < capacity_, name_, &clk_,
                   "ring head " << head_ << " outside capacity " << capacity_);
+  }
+
+  // --- checkpoint hooks (native ring-buffer snapshot) -----------------------
+
+  bool saveCheckpoint() override {
+    if constexpr (state::StateSupported<T>::value) {
+      SIM_CHECK_CTX(staged_n_ == 0 && pop_count_ == 0 && ooo_pops_ == 0,
+                    name_, &clk_,
+                    "saveCheckpoint() with staged state: checkpoints are only "
+                    "legal between edges (Phase::Outside)");
+      ckpt_head_ = head_;
+      ckpt_items_.resize(committed_n_);
+      for (std::size_t i = 0; i < committed_n_; ++i) {
+        state::StateOps<T>::save(ckpt_items_[i], ring_[rix(i)]);
+      }
+      ckpt_valid_ = true;
+      return true;
+    } else {
+      return false;  // payload type has no snapshot support
+    }
+  }
+
+  void restoreCheckpoint() override {
+    if constexpr (state::StateSupported<T>::value) {
+      SIM_CHECK_CTX(ckpt_valid_, name_, &clk_,
+                    "restoreCheckpoint() without a saved checkpoint");
+      head_ = ckpt_head_;
+      committed_n_ = ckpt_items_.size();
+      staged_n_ = 0;
+      pop_count_ = 0;
+      ooo_pops_ = 0;
+      ooo_journal_.clear();
+      for (std::size_t i = 0; i < committed_n_; ++i) {
+        state::StateOps<T>::restore(ring_[rix(i)], ckpt_items_[i]);
+      }
+    }
+  }
+
+  std::uint64_t checkpointDigest() const override {
+    if constexpr (state::StateSupported<T>::value) {
+      state::Digest d;
+      d.add(committed_n_ - pop_count_);
+      for (std::size_t i = pop_count_; i < committed_n_; ++i) {
+        state::StateOps<T>::digest(d, ring_[rix(i)]);
+      }
+      return d.value();
+    } else {
+      return 0;
+    }
   }
 
  private:
@@ -361,6 +413,10 @@ class SyncFifo final : public Updatable {
   std::size_t pop_count_ = 0;  ///< in-order pops staged this edge
   std::size_t ooo_pops_ = 0;   ///< out-of-order removals staged this edge
   std::vector<OooEntry> ooo_journal_;  ///< deep-check undo log for popAt
+  // Checkpoint snapshot of the committed ring (see saveCheckpoint()).
+  std::vector<state::SnapshotOf<T>> ckpt_items_;
+  std::size_t ckpt_head_ = 0;
+  bool ckpt_valid_ = false;
   ObserverFn observer_ = nullptr;
   void* observer_ctx_ = nullptr;
   std::vector<Component*> push_wakers_;
@@ -398,8 +454,18 @@ class AsyncFifo final : public Updatable {
                   "domain '" << cons_.name()
                   << "' belong to different simulators");
     prod_.addUpdatable(this, ClockDomain::CommitPolicy::WhenQueued);
+    // Also listed (never commit-queued) on the consumer side: pops staged at
+    // a consumer-only edge commit at the producer's next edge, so deep-check
+    // must see this FIFO when it replays a consumer edge or the re-popped
+    // items would be dropped twice at that commit.
+    if (&cons_ != &prod_) {
+      cons_.addUpdatable(this, ClockDomain::CommitPolicy::WhenQueued);
+    }
   }
-  ~AsyncFifo() override { prod_.removeUpdatable(this); }
+  ~AsyncFifo() override {
+    prod_.removeUpdatable(this);
+    if (&cons_ != &prod_) cons_.removeUpdatable(this);
+  }
 
   AsyncFifo(const AsyncFifo&) = delete;
   AsyncFifo& operator=(const AsyncFifo&) = delete;
@@ -484,6 +550,8 @@ class AsyncFifo final : public Updatable {
     return std::is_copy_constructible_v<T>;
   }
 
+  const std::string& updatableName() const override { return name_; }
+
   std::uint64_t stagedDigest() const override {
     std::uint64_t h = detail::kFnvBasis;
     h = detail::fnvCombine(h, staged_.size());
@@ -491,9 +559,21 @@ class AsyncFifo final : public Updatable {
     return h;
   }
 
+  void snapshotStaged() override {
+    // staged_ never spans edges (pushes commit at the producer edge that
+    // staged them), but pop_count_ can: a pop staged at a consumer-only
+    // edge commits at the producer's next edge, so an edge can begin with
+    // a carried-over pop count that rollback must preserve.
+    SIM_CHECK_CTX(staged_.empty(), name_, &prod_,
+                  "deep-check snapshot with " << staged_.size()
+                                              << " staged pushes at edge "
+                                                 "start");
+    dc_pop_count_ = pop_count_;
+  }
+
   void rollbackStaged() override {
     staged_.clear();
-    pop_count_ = 0;
+    pop_count_ = dc_pop_count_;
   }
 
   void checkInvariants() const override {
@@ -504,6 +584,61 @@ class AsyncFifo final : public Updatable {
                   name_, &prod_,
                   "occupancy " << committed_.size() + staged_.size()
                                << " exceeds capacity " << capacity_);
+  }
+
+  // --- checkpoint hooks -----------------------------------------------------
+  //
+  // Between edges staged_ is always drained (a push commits at the producer
+  // edge that staged it), but pop_count_ may be non-zero: consumer pops only
+  // clear at the *producer* domain's next commit of this FIFO.  The snapshot
+  // therefore covers the committed entries, their visibility deadlines and
+  // the pending pop count.
+
+  bool saveCheckpoint() override {
+    if constexpr (state::StateSupported<T>::value) {
+      SIM_CHECK_CTX(staged_.empty(), name_, &prod_,
+                    "saveCheckpoint() with staged pushes: checkpoints are "
+                    "only legal between edges (Phase::Outside)");
+      ckpt_items_.resize(committed_.size());
+      ckpt_visible_.resize(committed_.size());
+      for (std::size_t i = 0; i < committed_.size(); ++i) {
+        state::StateOps<T>::save(ckpt_items_[i], committed_[i].value);
+        ckpt_visible_[i] = committed_[i].visible_at;
+      }
+      ckpt_pop_count_ = pop_count_;
+      ckpt_valid_ = true;
+      return true;
+    } else {
+      return false;
+    }
+  }
+
+  void restoreCheckpoint() override {
+    if constexpr (state::StateSupported<T>::value) {
+      SIM_CHECK_CTX(ckpt_valid_, name_, &prod_,
+                    "restoreCheckpoint() without a saved checkpoint");
+      committed_.resize(ckpt_items_.size());
+      for (std::size_t i = 0; i < ckpt_items_.size(); ++i) {
+        state::StateOps<T>::restore(committed_[i].value, ckpt_items_[i]);
+        committed_[i].visible_at = ckpt_visible_[i];
+      }
+      staged_.clear();
+      pop_count_ = ckpt_pop_count_;
+    }
+  }
+
+  std::uint64_t checkpointDigest() const override {
+    if constexpr (state::StateSupported<T>::value) {
+      state::Digest d;
+      d.add(committed_.size() - pop_count_);
+      for (std::size_t i = pop_count_; i < committed_.size(); ++i) {
+        state::StateOps<T>::digest(d, committed_[i].value);
+        d.add(committed_[i].visible_at);
+      }
+      return d.value();
+    } else {
+      return 0;
+    }
   }
 
  private:
@@ -533,6 +668,12 @@ class AsyncFifo final : public Updatable {
   std::deque<Entry> committed_;
   std::vector<T> staged_;
   std::size_t pop_count_ = 0;
+  std::size_t dc_pop_count_ = 0;  ///< pre-edge pop count (deep-check)
+  // Checkpoint snapshot of the committed entries (see saveCheckpoint()).
+  std::vector<state::SnapshotOf<T>> ckpt_items_;
+  std::vector<Picos> ckpt_visible_;
+  std::size_t ckpt_pop_count_ = 0;
+  bool ckpt_valid_ = false;
   std::vector<Component*> push_wakers_;
 };
 

@@ -8,6 +8,7 @@
 #include <random>
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <vector>
 
 namespace mpsoc::sim {
@@ -48,6 +49,9 @@ class Rng {
   }
 
   std::mt19937_64& engine() { return engine_; }
+
+  /// State-manifest hook (src/sim/state.hpp): the engine is the whole state.
+  auto simStateMembers() { return std::tie(engine_); }
 
   static std::uint64_t fnv1a(std::string_view s) {
     std::uint64_t h = 0xcbf29ce484222325ULL;

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <thread>
 #include <unordered_map>
@@ -8,6 +9,7 @@
 #include "sim/component.hpp"
 #include "sim/eval_pool.hpp"
 #include "sim/racecheck.hpp"
+#include "sim/state.hpp"
 
 namespace mpsoc::sim {
 
@@ -133,10 +135,16 @@ bool Simulator::step() {
     for (ClockDomain* d : edge_scratch_) {
       for (Updatable* u : d->updatables()) {
         if (!u->replaySupported()) replayable = false;
+        u->snapshotStaged();
       }
       for (Component* c : d->components()) {
         if (!c->saveState()) replayable = false;
       }
+    }
+    if (replayable) {
+      ++deep_stats_.replayed_edges;
+    } else {
+      ++deep_stats_.skipped_edges;
     }
   }
   // Sharded path: only when a pool exists (or the race checker needs the
@@ -193,8 +201,10 @@ void Simulator::deepCheckEdge(const std::vector<ClockDomain*>& edge_domains,
     for (ClockDomain* d : edge_domains) {
       for (Updatable* u : d->updatables()) {
         SIM_CHECK_CTX(u->stagedDigest() == digests[i], "deep-check", d,
-                      "order-dependent evaluate: staged state diverged "
-                      "between forward and reverse evaluation passes");
+                      "order-dependent evaluate: staged state of '"
+                          << u->updatableName()
+                          << "' diverged between forward and reverse "
+                             "evaluation passes");
         ++i;
       }
     }
@@ -347,6 +357,113 @@ void Simulator::evaluateSlotParallel(ShardPlan& plan) {
   // Catch-up: components constructed mid-edge inside a lane join this very
   // edge, as the serial index loop guarantees for same-domain spawns.
   for (const auto& [d, n0] : plan.snapshot) d->evaluateFrom(n0);
+}
+
+void Simulator::addCheckpointable(Checkpointable* c) {
+  checkpointables_.push_back(c);
+}
+
+void Simulator::removeCheckpointable(Checkpointable* c) {
+  checkpointables_.erase(
+      std::remove(checkpointables_.begin(), checkpointables_.end(), c),
+      checkpointables_.end());
+}
+
+void Simulator::checkpoint() {
+  SIM_CHECK(phase_ == Phase::Outside,
+            "checkpoint() is only legal between edges (Phase::Outside)");
+  SIM_CHECK(!deep_check_,
+            "checkpoint() with deep-check on: the per-component snapshot "
+            "slot is shared with the replay machinery");
+  for (const auto& d : domains_) {
+    for (Component* c : d->components()) {
+      SIM_CHECK_CTX(c->saveState(), c->name(), d.get(),
+                    "component has no state manifest (SIM_STATE) — "
+                    "checkpoint() needs every component to snapshot; the "
+                    "unmanifested-state lint rule flags the class");
+    }
+    std::size_t i = 0;
+    for (Updatable* u : d->updatables()) {
+      SIM_CHECK_CTX(u->saveCheckpoint(),
+                    d->name() + ":updatable#" + std::to_string(i), d.get(),
+                    "updatable does not support checkpointing (payload type "
+                    "without StateOps support?)");
+      ++i;
+    }
+  }
+  for (Checkpointable* c : checkpointables_) c->saveCheckpoint();
+  ckpt_.now_ps = now_ps_;
+  ckpt_.edges = edges_executed_;
+  ckpt_.domain_state.clear();
+  for (const auto& d : domains_) {
+    ckpt_.domain_state.emplace_back(d->cycle_, d->next_edge_ps_);
+  }
+  ckpt_.valid = true;
+}
+
+void Simulator::restoreCheckpoint() {
+  SIM_CHECK(ckpt_.valid, "restoreCheckpoint() without a prior checkpoint()");
+  SIM_CHECK(phase_ == Phase::Outside,
+            "restoreCheckpoint() is only legal between edges");
+  SIM_CHECK(domains_.size() == ckpt_.domain_state.size(),
+            "clock-domain population changed since the checkpoint was taken");
+  for (const auto& d : domains_) {
+    for (Component* c : d->components()) c->restoreState();
+    for (Updatable* u : d->updatables()) u->restoreCheckpoint();
+  }
+  for (Checkpointable* c : checkpointables_) c->restoreCheckpoint();
+  now_ps_ = ckpt_.now_ps;
+  edges_executed_ = ckpt_.edges;
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    domains_[i]->cycle_ = ckpt_.domain_state[i].first;
+    domains_[i]->next_edge_ps_ = ckpt_.domain_state[i].second;
+  }
+  // The rewind moved every domain's next-edge instant; rebuild lazily.
+  schedule_valid_ = false;
+}
+
+std::uint64_t Simulator::stateDigest() const {
+  std::vector<std::pair<std::string, std::uint64_t>> items;
+  stateDigestItems(items);
+  state::Digest d;
+  for (const auto& [label, v] : items) {
+    d.add(label);
+    d.add(v);
+  }
+  return d.value();
+}
+
+void Simulator::stateDigestItems(
+    std::vector<std::pair<std::string, std::uint64_t>>& out) const {
+  SIM_CHECK(phase_ == Phase::Outside,
+            "stateDigest() is only meaningful between edges");
+  for (const auto& d : domains_) {
+    for (const Component* c : d->components()) {
+      out.emplace_back(d->name() + ":" + c->name(), c->stateDigest());
+    }
+    std::size_t i = 0;
+    for (const Updatable* u : d->updatables()) {
+      out.emplace_back(d->name() + ":updatable#" + std::to_string(i),
+                       u->checkpointDigest());
+      ++i;
+    }
+  }
+  {
+    state::Digest kd;
+    kd.add(static_cast<std::uint64_t>(now_ps_));
+    kd.add(edges_executed_);
+    for (const auto& d : domains_) {
+      kd.add(d->cycle_);
+      kd.add(static_cast<std::uint64_t>(d->next_edge_ps_));
+    }
+    out.emplace_back("kernel:time", kd.value());
+  }
+  std::size_t i = 0;
+  for (const Checkpointable* c : checkpointables_) {
+    out.emplace_back("aux#" + std::to_string(i) + ":" + c->checkpointName(),
+                     c->checkpointDigest());
+    ++i;
+  }
 }
 
 Picos Simulator::run(Picos max_time_ps, const std::function<bool()>& stop) {

@@ -41,6 +41,25 @@ class RaceCheck;
 /// Evaluate, commit() only during Commit (i.e. only kernel-invoked).
 enum class Phase { Outside, Evaluate, Commit };
 
+/// State holder outside the component/updatable graph (verify monitors, the
+/// transaction auditor, stats probes) that must participate in
+///// Simulator::checkpoint() so a restored run does not see stale observer
+/// state (a monitor remembering in-flight requests from the abandoned
+/// timeline would false-positive).  Registered via addCheckpointable();
+/// registration order defines the digest-item order, so register
+/// deterministically (construction order).
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+  virtual void saveCheckpoint() = 0;
+  virtual void restoreCheckpoint() = 0;
+  /// Canonical digest of the held state; 0 when the holder is pure
+  /// observation whose contents are not part of platform state.
+  virtual std::uint64_t checkpointDigest() const { return 0; }
+  /// Label used in stateDigestItems() reports.
+  virtual std::string checkpointName() const { return "aux"; }
+};
+
 class Simulator {
  public:
   Simulator();
@@ -128,6 +147,51 @@ class Simulator {
   /// Observation taps (protocol monitors) use this to ignore the replay pass,
   /// which repeats every FIFO push/pop of the forward pass.
   bool inReplay() const { return in_replay_; }
+
+  /// Deep-check replay coverage: edges where the replay pass actually ran
+  /// (every component on the edge manifested via SIM_STATE, every updatable
+  /// rollback-capable) versus edges where only the structural checks ran.
+  /// The full-platform test asserts skipped_edges == 0 — the manifest floor
+  /// the `unmanifested-state` lint rule enforces statically.
+  struct DeepCheckStats {
+    std::uint64_t replayed_edges = 0;
+    std::uint64_t skipped_edges = 0;
+  };
+  const DeepCheckStats& deepCheckStats() const { return deep_stats_; }
+
+  // --- checkpointing (MPSOC_STATECHECK oracle; see DESIGN.md) ---------------
+
+  /// Register an auxiliary state holder in the checkpoint set.  Must happen
+  /// in deterministic (construction) order: the order labels digest items.
+  void addCheckpointable(Checkpointable* c);
+  void removeCheckpointable(Checkpointable* c);
+
+  /// Snapshot the complete platform state at the current instant: every
+  /// component's manifest (saveState), every updatable's committed contents
+  /// (saveCheckpoint), every registered Checkpointable, and the kernel's own
+  /// time state (now, edge count, per-domain cycle counters and next-edge
+  /// instants).  Only legal between edges (Phase::Outside) and with
+  /// deep-check off — the per-component snapshot slot is shared with the
+  /// deep-check replay machinery.  Raises InvariantViolation naming the
+  /// first component or updatable that does not support checkpointing.
+  void checkpoint();
+
+  /// Rewind to the last checkpoint().  The component/domain population must
+  /// be unchanged since the checkpoint was taken.
+  void restoreCheckpoint();
+  bool hasCheckpoint() const { return ckpt_.valid; }
+
+  /// Canonical digest of the complete committed platform state (volatile
+  /// transaction ids excluded; see src/sim/state.hpp).  Two runs that took
+  /// identical decisions hold identical digests at the same instant.
+  std::uint64_t stateDigest() const;
+
+  /// Per-holder labeled digests, appended to `out` in deterministic order —
+  /// components by (domain, registration), updatables by domain slot,
+  /// kernel time state, then registered checkpointables.  The statecheck
+  /// oracle diffs two of these vectors to name the first diverging holder.
+  void stateDigestItems(
+      std::vector<std::pair<std::string, std::uint64_t>>& out) const;
 
   /// Advance one edge instant (possibly several coincident domain edges).
   /// Returns false when there are no domains.
@@ -229,6 +293,16 @@ class Simulator {
   void refreshIdleScan();
   bool allIdle() const;
 
+  /// Kernel half of a checkpoint: global time, edge count and each domain's
+  /// cycle counter / next-edge instant (component and updatable contents are
+  /// snapshotted in place by their own hooks).
+  struct KernelCheckpoint {
+    Picos now_ps = 0;
+    std::uint64_t edges = 0;
+    std::vector<std::pair<Cycle, Picos>> domain_state;  // (cycle_, next_edge)
+    bool valid = false;
+  };
+
   std::vector<std::unique_ptr<ClockDomain>> domains_;
   Picos now_ps_ = 0;
   std::uint64_t edges_executed_ = 0;
@@ -258,6 +332,11 @@ class Simulator {
   ShardPlan* current_plan_ = nullptr;
   std::mutex registration_mutex_;
   std::mutex tap_mutex_;
+
+  // Checkpoint / deep-check bookkeeping.
+  KernelCheckpoint ckpt_;
+  std::vector<Checkpointable*> checkpointables_;
+  DeepCheckStats deep_stats_;
 
   // Activity bookkeeping.
   std::size_t component_count_ = 0;

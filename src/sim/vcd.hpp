@@ -82,6 +82,9 @@ class VcdSampler final : public Component {
   }
 
   void evaluate() override {
+    // Trace sinks only see the forward pass of deep-check replay (the writer
+    // stream is append-only and cannot be rolled back).
+    if (clk_.simulator().inReplay()) return;
     values_.resize(observers_.size());
     for (std::size_t i = 0; i < observers_.size(); ++i) {
       values_[i] = observers_[i] ? observers_[i]() : 0;
@@ -94,6 +97,10 @@ class VcdSampler final : public Component {
   VcdWriter& writer_;
   std::vector<std::function<std::uint64_t()>> observers_;
   std::vector<std::uint64_t> values_;
+
+  SIM_STATE_NONE();
+  SIM_STATE_EXEMPT(observers_, "observer callbacks (signal bindings)");
+  SIM_STATE_EXEMPT(values_, "scratch buffer rebuilt every evaluate");
 };
 
 }  // namespace mpsoc::sim

@@ -38,6 +38,9 @@ class Watchdog final : public Component {
   std::uint64_t checksPerformed() const { return checks_; }
 
   void evaluate() override {
+    // The watchdog observes progress; replaying an edge must not advance its
+    // baseline or double-count checks.
+    if (clk_.simulator().inReplay()) return;
     if (now() % interval_ != 0) return;
     ++checks_;
     const std::uint64_t p = progress_();
@@ -74,6 +77,11 @@ class Watchdog final : public Component {
   std::uint64_t last_progress_ = 0;
   std::uint64_t checks_ = 0;
   bool fired_ = false;
+
+  SIM_STATE_MEMBERS(last_progress_, checks_, fired_);
+  SIM_STATE_EXEMPT(progress_, "observer callback (progress sampler)");
+  SIM_STATE_EXEMPT(alarm_, "observer callback");
+  SIM_STATE_EXEMPT(interval_, "immutable configuration");
 };
 
 }  // namespace mpsoc::sim

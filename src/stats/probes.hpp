@@ -12,10 +12,12 @@
 
 #include <cstdint>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "sim/clock.hpp"
 #include "sim/fifo.hpp"
+#include "sim/simulator.hpp"
 #include "sim/time.hpp"
 #include "stats/stats.hpp"
 
@@ -60,7 +62,11 @@ class PhaseSchedule {
 ///   noRequest  — not full and nothing pushed (req=0, gnt=1).
 ///
 /// `empty` is tracked independently (it overlaps noRequest/storing).
-class FifoStateProbe {
+///
+/// Checkpointable: the probe accumulates from FIFO commit hooks, so a
+/// statecheck restore must rewind its buckets or the re-run window
+/// double-counts (the platform registers it via Simulator::addCheckpointable).
+class FifoStateProbe : public sim::Checkpointable {
  public:
   struct Buckets {
     std::uint64_t cycles = 0;
@@ -74,6 +80,10 @@ class FifoStateProbe {
     double fracStoring() const { return frac(storing); }
     double fracNoRequest() const { return frac(no_request); }
     double fracEmpty() const { return frac(empty); }
+
+    auto simStateMembers() {
+      return std::tie(cycles, full, storing, no_request, empty, occupancy);
+    }
 
    private:
     double frac(std::uint64_t x) const {
@@ -99,6 +109,27 @@ class FifoStateProbe {
   const Buckets& total() const { return total_; }
   const Buckets& phase(std::size_t i) const { return per_phase_[i]; }
   std::size_t phaseCount() const { return per_phase_.size(); }
+
+  // --- Checkpointable -------------------------------------------------------
+
+  void saveCheckpoint() override {
+    ckpt_total_ = total_;
+    ckpt_per_phase_ = per_phase_;
+  }
+  void restoreCheckpoint() override {
+    total_ = ckpt_total_;
+    per_phase_ = ckpt_per_phase_;
+  }
+  std::uint64_t checkpointDigest() const override {
+    sim::state::Digest d;
+    sim::state::StateOps<Buckets>::digest(d, total_);
+    d.add(per_phase_.size());
+    for (const Buckets& b : per_phase_) {
+      sim::state::StateOps<Buckets>::digest(d, b);
+    }
+    return d.value();
+  }
+  std::string checkpointName() const override { return "fifo-state-probe"; }
 
  private:
   void onEdge(const sim::FifoEdgeInfo& info, sim::Picos now) {
@@ -126,6 +157,8 @@ class FifoStateProbe {
   sim::ClockDomain* clk_dom_ = nullptr;
   Buckets total_;
   std::vector<Buckets> per_phase_;
+  Buckets ckpt_total_;
+  std::vector<Buckets> ckpt_per_phase_;
 };
 
 /// Channel occupancy accounting.  The owning engine calls exactly one of
@@ -159,6 +192,11 @@ class ChannelUtilization {
 
   const std::string& name() const { return name_; }
 
+  /// State-manifest hook (src/sim/state.hpp); name_ is configuration.
+  auto simStateMembers() {
+    return std::tie(transfers_, held_, window_begin_, window_end_);
+  }
+
  private:
   std::string name_;
   std::uint64_t transfers_ = 0;
@@ -187,6 +225,9 @@ class LatencyProbe {
   const Sampler& latencyNs() const { return latency_ns_; }
   const Histogram& histogramNs() const { return histogram_; }
   double quantileNs(double q) const { return histogram_.quantile(q); }
+
+  /// State-manifest hook (src/sim/state.hpp).
+  auto simStateMembers() { return std::tie(latency_ns_, histogram_); }
 
  private:
   Sampler latency_ns_;

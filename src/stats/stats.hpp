@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace mpsoc::stats {
@@ -17,6 +18,9 @@ class Counter {
   void inc(std::uint64_t n = 1) { value_ += n; }
   std::uint64_t value() const { return value_; }
   void reset() { value_ = 0; }
+
+  /// State-manifest hook (src/sim/state.hpp).
+  auto simStateMembers() { return std::tie(value_); }
 
  private:
   std::uint64_t value_ = 0;
@@ -44,6 +48,11 @@ class Sampler {
   double max() const { return n_ ? max_ : 0.0; }
 
   void reset() { *this = Sampler{}; }
+
+  /// State-manifest hook (src/sim/state.hpp): stats are simulation state —
+  /// deep-check replay re-runs evaluate(), so samples added there must roll
+  /// back or the second pass double-counts.
+  auto simStateMembers() { return std::tie(n_, mean_, m2_, sum_, min_, max_); }
 
  private:
   std::uint64_t n_ = 0;
@@ -105,6 +114,12 @@ class Histogram {
       if (acc >= target) return binLow(i + 1);
     }
     return hi_;
+  }
+
+  /// State-manifest hook (src/sim/state.hpp).  lo_/hi_ are configuration but
+  /// ride along: restoring them to themselves is harmless.
+  auto simStateMembers() {
+    return std::tie(lo_, hi_, counts_, total_, underflow_, overflow_);
   }
 
  private:

@@ -39,6 +39,9 @@ class TimelineRecorder final : public sim::Component {
   }
 
   void evaluate() override {
+    // Append-only trace sink: replaying an edge must not double-accumulate a
+    // window or emit a duplicate row.
+    if (clk_.simulator().inReplay()) return;
     for (auto& s : series_) {
       const double v = s.fn();
       if (!s.delta) s.accum += v;
@@ -96,6 +99,12 @@ class TimelineRecorder final : public sim::Component {
   std::vector<Series> series_;
   std::vector<std::vector<double>> rows_;
   std::vector<double> times_us_;
+
+  SIM_STATE_NONE();
+  SIM_STATE_EXEMPT(window_, "immutable configuration");
+  SIM_STATE_EXEMPT(series_, "observer callbacks (replay-guarded accumulators)");
+  SIM_STATE_EXEMPT(rows_, "append-only trace sink (replay-guarded)");
+  SIM_STATE_EXEMPT(times_us_, "append-only trace sink (replay-guarded)");
 };
 
 }  // namespace mpsoc::stats

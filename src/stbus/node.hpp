@@ -87,11 +87,18 @@ class StbusNode final : public txn::InterconnectBase {
     std::uint64_t last_msg = 0;
     bool locked = false;  ///< Type 1: locked until the response retires
     stats::ChannelUtilization chan;
+
+    auto simStateMembers() {
+      return std::tie(streaming, beats_left, stream_target, arb, has_last,
+                      last_initiator, last_msg, locked, chan);
+    }
   };
 
   struct RspEngine {
     RspStream stream;
     stats::ChannelUtilization chan;
+
+    auto simStateMembers() { return std::tie(stream, chan); }
   };
 
   void requestPath();
@@ -110,6 +117,10 @@ class StbusNode final : public txn::InterconnectBase {
   std::vector<ReqEngine> req_engines_;
   std::vector<RspEngine> rsp_engines_;
   bool finalized_ = false;
+
+  SIM_STATE_MEMBERS_WITH_BASE(txn::InterconnectBase, req_engines_,
+                              rsp_engines_, finalized_);
+  SIM_STATE_EXEMPT(cfg_, "immutable configuration");
 };
 
 }  // namespace mpsoc::stbus

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <optional>
 #include <random>
+#include <tuple>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -128,6 +129,13 @@ class Arbiter {
     ensureSize(num_requesters);
     if (winner < last_granted_at_.size()) last_granted_at_[winner] = now + 1;
     return winner;
+  }
+
+  /// State-manifest hook (src/sim/state.hpp): everything pick() mutates —
+  /// grant history, LRU timestamps and the lottery engine (policy_ and the
+  /// TDMA slot width are configuration).
+  auto simStateMembers() {
+    return std::tie(last_grant_, last_granted_at_, rng_);
   }
 
  private:

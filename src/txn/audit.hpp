@@ -56,6 +56,24 @@ class TxnAuditor {
   /// reconciled.
   void finish(bool expect_drained) const;
 
+  /// Checkpoint hooks (MPSOC_STATECHECK): the rewound timeline re-issues the
+  /// same transactions, which the no-duplication books would flag unless the
+  /// ledger is wound back with the simulation.
+  void saveCheckpoint() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ckpt_live_ = live_;
+    ckpt_completed_ = completed_;
+    ckpt_issued_ = issued_;
+    ckpt_retired_ = retired_;
+  }
+  void restoreCheckpoint() {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_ = ckpt_live_;
+    completed_ = ckpt_completed_;
+    issued_ = ckpt_issued_;
+    retired_ = ckpt_retired_;
+  }
+
  private:
   struct Live {
     std::string source;
@@ -75,6 +93,10 @@ class TxnAuditor {
   std::unordered_set<std::uint64_t> completed_;
   std::uint64_t issued_ = 0;
   std::uint64_t retired_ = 0;
+  std::unordered_map<std::uint64_t, Live> ckpt_live_;
+  std::unordered_set<std::uint64_t> ckpt_completed_;
+  std::uint64_t ckpt_issued_ = 0;
+  std::uint64_t ckpt_retired_ = 0;
 };
 
 }  // namespace mpsoc::txn

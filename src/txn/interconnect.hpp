@@ -74,6 +74,13 @@ class InterconnectBase : public sim::Component {
     std::uint64_t req_id;
     std::size_t initiator;
     std::size_t target;
+
+    auto simStateMembers() { return std::tie(req_id, initiator, target); }
+    /// req_id is a volatile transaction id (see state.hpp "Digest canon").
+    void simStateDigest(sim::state::Digest& d) const {
+      d.add(initiator);
+      d.add(target);
+    }
   };
 
   /// Record acceptance of a non-posted request; posted writes are not
@@ -132,6 +139,10 @@ class InterconnectBase : public sim::Component {
     std::size_t target = 0;     ///< source target port
     std::size_t initiator = 0;  ///< destination initiator port
     std::uint32_t next_beat = 0;
+
+    auto simStateMembers() {
+      return std::tie(rsp, target, initiator, next_beat);
+    }
 
     bool active() const { return rsp != nullptr; }
     bool beatDue(sim::Picos now) const {
@@ -192,6 +203,11 @@ class InterconnectBase : public sim::Component {
  private:
   std::unordered_map<std::uint64_t, std::size_t> inflight_initiator_;
   std::unordered_map<std::size_t, std::deque<Inflight>> order_;
+
+  SIM_STATE_MEMBERS(grants_, inflight_initiator_, order_);
+  SIM_STATE_EXEMPT(initiators_, "wiring (port registry)");
+  SIM_STATE_EXEMPT(targets_, "wiring (port registry)");
+  SIM_STATE_EXEMPT(amap_, "immutable configuration (address map)");
 };
 
 }  // namespace mpsoc::txn

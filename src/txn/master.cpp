@@ -34,7 +34,11 @@ void MasterBase::issue(const RequestPtr& req) {
     ++retired_;  // posted writes retire at issue
   }
 #if MPSOC_VERIFY
-  if (auditor_) auditor_->onIssue(clk_, *req, fire_and_forget);
+  // Deep-check replay repeats this issue; the auditor's conservation books
+  // must only count the forward pass.
+  if (auditor_ && !clk_.simulator().inReplay()) {
+    auditor_->onIssue(clk_, *req, fire_and_forget);
+  }
 #endif
   port_.req.push(req);
 }
@@ -47,7 +51,9 @@ void MasterBase::collectResponses() {
     --outstanding_;
     ++retired_;
 #if MPSOC_VERIFY
-    if (auditor_) auditor_->onRetire(clk_, *rsp);
+    if (auditor_ && !clk_.simulator().inReplay()) {
+      auditor_->onRetire(clk_, *rsp);
+    }
 #endif
     rsp->req->completed_ps = clk_.simulator().now();
     latency_.record(rsp->req->created_ps, rsp->req->completed_ps);

@@ -66,6 +66,11 @@ class MasterBase : public sim::Component {
   std::uint64_t bytes_read_ = 0;
   std::uint64_t bytes_written_ = 0;
   stats::LatencyProbe latency_;
+
+  SIM_STATE_MEMBERS(outstanding_, issued_, retired_, bytes_read_,
+                    bytes_written_, latency_);
+  SIM_STATE_EXEMPT(max_outstanding_, "immutable configuration");
+  SIM_STATE_EXEMPT(auditor_, "cached auditor pointer (observer wiring)");
 };
 
 }  // namespace mpsoc::txn

@@ -12,7 +12,9 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <tuple>
 
+#include "sim/state.hpp"
 #include "sim/time.hpp"
 
 namespace mpsoc::txn {
@@ -45,6 +47,26 @@ struct Request {
     return static_cast<std::uint64_t>(beats) * bytes_per_beat;
   }
   std::uint64_t endAddr() const { return addr + bytes(); }
+
+  /// Digest canon for the statecheck oracle: every field except the volatile
+  /// id/root_id (re-issued requests draw fresh ids from the process-wide
+  /// counter, so ids differ between the two oracle passes — see
+  /// src/sim/state.hpp "Digest canon").  Snapshot/restore still copies the
+  /// whole object, ids included.
+  void simStateDigest(sim::state::Digest& d) const {
+    d.add(static_cast<std::uint64_t>(op));
+    d.add(addr);
+    d.add(beats);
+    d.add(bytes_per_beat);
+    d.add(priority);
+    d.add(posted ? 1u : 0u);
+    d.add(msg_id);
+    d.add(source);
+    d.add(tag);
+    d.add(static_cast<std::uint64_t>(created_ps));
+    d.add(static_cast<std::uint64_t>(accepted_ps));
+    d.add(static_cast<std::uint64_t>(completed_ps));
+  }
 };
 
 using RequestPtr = std::shared_ptr<Request>;
@@ -62,6 +84,8 @@ struct BeatSchedule {
   sim::Picos lastBeat(std::uint32_t beats) const {
     return beats ? beatTime(beats - 1) : first_beat;
   }
+
+  auto simStateMembers() { return std::tie(first_beat, beat_period); }
 };
 
 struct Response {
@@ -71,6 +95,8 @@ struct Response {
   bool error = false;
 
   bool isRead() const { return req && req->op == Opcode::Read; }
+
+  auto simStateMembers() { return std::tie(req, beats, sched, error); }
 };
 
 using ResponsePtr = std::shared_ptr<Response>;

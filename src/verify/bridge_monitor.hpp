@@ -41,6 +41,15 @@ class BridgeMonitor final : public Monitor {
 
   void finish(bool expect_drained) const override;
 
+  void saveCheckpoint() override {
+    Monitor::saveCheckpoint();
+    ckpt_live_ = live_;
+  }
+  void restoreCheckpoint() override {
+    Monitor::restoreCheckpoint();
+    live_ = ckpt_live_;
+  }
+
  private:
   void onAbsorb(const txn::RequestPtr& r);
   void onForward(const txn::RequestPtr& clone);
@@ -57,6 +66,7 @@ class BridgeMonitor final : public Monitor {
 
   std::uint32_t width_b_;
   std::deque<Xfer> live_;  ///< keyed by orig->root_id, absorb order
+  std::deque<Xfer> ckpt_live_;
 };
 
 }  // namespace mpsoc::verify

@@ -16,4 +16,14 @@ void VerifyContext::finish(bool expect_drained) const {
   auditor_.finish(expect_drained);
 }
 
+void VerifyContext::saveCheckpoint() {
+  for (const auto& m : monitors_) m->saveCheckpoint();
+  auditor_.saveCheckpoint();
+}
+
+void VerifyContext::restoreCheckpoint() {
+  for (const auto& m : monitors_) m->restoreCheckpoint();
+  auditor_.restoreCheckpoint();
+}
+
 }  // namespace mpsoc::verify

@@ -14,15 +14,21 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "sim/simulator.hpp"
 #include "txn/audit.hpp"
 #include "verify/monitor.hpp"
 
 namespace mpsoc::verify {
 
-class VerifyContext {
+/// The context is itself a sim::Checkpointable: registering it with the
+/// simulator (Simulator::addCheckpointable) rewinds every owned monitor and
+/// the conservation auditor together with a state restore, so the statecheck
+/// oracle's replayed timeline is not flagged against stale observer books.
+class VerifyContext : public sim::Checkpointable {
  public:
   VerifyContext();
   ~VerifyContext();
@@ -56,6 +62,10 @@ class VerifyContext {
   /// `expect_drained` = the workload ran to completion, so anything still in
   /// flight is a leak; pass false after bounded (runFor-style) runs.
   void finish(bool expect_drained) const;
+
+  void saveCheckpoint() override;
+  void restoreCheckpoint() override;
+  std::string checkpointName() const override { return "verify"; }
 
  private:
   std::vector<std::unique_ptr<Monitor>> monitors_;

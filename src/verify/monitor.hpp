@@ -52,6 +52,14 @@ class Monitor {
   /// it as a leak; bounded runs pass false.
   virtual void finish(bool expect_drained) const { (void)expect_drained; }
 
+  /// Checkpoint hooks (the MPSOC_STATECHECK oracle rewinds the simulation to
+  /// an earlier instant and re-runs it): monitors live outside the component
+  /// graph but track in-flight traffic, so a restore must wind their books
+  /// back too or the replayed timeline false-positives against stale state.
+  /// Overrides must chain the base hooks (events_ lives here).
+  virtual void saveCheckpoint() { ckpt_events_ = events_; }
+  virtual void restoreCheckpoint() { events_ = ckpt_events_; }
+
  protected:
   void countEvent() { ++events_; }
 
@@ -66,6 +74,7 @@ class Monitor {
 
  private:
   std::uint64_t events_ = 0;
+  std::uint64_t ckpt_events_ = 0;
 };
 
 // Check macro for monitor member functions: `expr` is an ostream chain,

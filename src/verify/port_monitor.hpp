@@ -57,6 +57,21 @@ class InitiatorMonitor final : public Monitor {
 
   void finish(bool expect_drained) const override;
 
+  void saveCheckpoint() override {
+    Monitor::saveCheckpoint();
+    ckpt_queued_ = queued_;
+    ckpt_accepted_ = accepted_;
+    if (rules_.ledger) ckpt_ledger_count_ = rules_.ledger->count;
+  }
+  void restoreCheckpoint() override {
+    Monitor::restoreCheckpoint();
+    queued_ = ckpt_queued_;
+    accepted_ = ckpt_accepted_;
+    // The ledger is shared by every monitor of the layer; each one rewinds
+    // it to the same saved value, so the repeated write is idempotent.
+    if (rules_.ledger) rules_.ledger->count = ckpt_ledger_count_;
+  }
+
  private:
   void onReqPush(const txn::RequestPtr& r);
   void onReqPop(const txn::RequestPtr& r);
@@ -70,6 +85,9 @@ class InitiatorMonitor final : public Monitor {
   InitiatorRules rules_;
   std::vector<Entry> queued_;   ///< pushed by the master, not yet granted
   std::deque<Entry> accepted_;  ///< granted, response pending (grant order)
+  std::vector<Entry> ckpt_queued_;
+  std::deque<Entry> ckpt_accepted_;
+  unsigned ckpt_ledger_count_ = 0;
 };
 
 class TargetMonitor final : public Monitor {
@@ -78,6 +96,15 @@ class TargetMonitor final : public Monitor {
                 txn::TargetPort& port);
 
   void finish(bool expect_drained) const override;
+
+  void saveCheckpoint() override {
+    Monitor::saveCheckpoint();
+    ckpt_pending_ = pending_;
+  }
+  void restoreCheckpoint() override {
+    Monitor::restoreCheckpoint();
+    pending_ = ckpt_pending_;
+  }
 
  private:
   void onReqPush(const txn::RequestPtr& r);
@@ -92,6 +119,7 @@ class TargetMonitor final : public Monitor {
   };
 
   std::deque<Entry> pending_;
+  std::deque<Entry> ckpt_pending_;
 };
 
 }  // namespace mpsoc::verify

@@ -36,6 +36,21 @@ class SdramLegalityMonitor final : public Monitor {
   /// Feed one device command (wired to SdramDevice::setCommandObserver).
   void onCommand(const mem::SdramCommand& c);
 
+  void saveCheckpoint() override {
+    Monitor::saveCheckpoint();
+    ckpt_banks_ = banks_;
+    ckpt_bus_free_ = bus_free_;
+    ckpt_refresh_done_ = refresh_done_;
+    ckpt_has_refresh_ = has_refresh_;
+  }
+  void restoreCheckpoint() override {
+    Monitor::restoreCheckpoint();
+    banks_ = ckpt_banks_;
+    bus_free_ = ckpt_bus_free_;
+    refresh_done_ = ckpt_refresh_done_;
+    has_refresh_ = ckpt_has_refresh_;
+  }
+
  private:
   sim::Picos cyc(unsigned n) const {
     return static_cast<sim::Picos>(n) * clk_period_;
@@ -60,6 +75,10 @@ class SdramLegalityMonitor final : public Monitor {
   sim::Picos bus_free_ = 0;      ///< data-bus serialisation point
   sim::Picos refresh_done_ = 0;  ///< end of the last AUTO-REFRESH
   bool has_refresh_ = false;
+  std::vector<BankShadow> ckpt_banks_;
+  sim::Picos ckpt_bus_free_ = 0;
+  sim::Picos ckpt_refresh_done_ = 0;
+  bool ckpt_has_refresh_ = false;
 };
 
 }  // namespace mpsoc::verify

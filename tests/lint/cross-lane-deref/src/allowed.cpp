@@ -16,4 +16,7 @@ class SnoopingAgent : public sim::Component {
  private:
   PeerAgent* peer_ = nullptr;  // mpsoc-lint: allow(cross-lane-deref)
   long stalls_ = 0;
+
+  SIM_STATE_MEMBERS(stalls_);
+  SIM_STATE_EXEMPT(peer_, "wiring (audited cross-lane alias)");
 };

@@ -17,4 +17,7 @@ class SnoopingAgent : public sim::Component {
  private:
   PeerAgent* peer_ = nullptr;
   long stalls_ = 0;
+
+  SIM_STATE_MEMBERS(stalls_);
+  SIM_STATE_EXEMPT(peer_, "wiring (audited cross-lane alias)");
 };

@@ -1,0 +1,19 @@
+// Fixture: incomplete, duplicated and typo'd SIM_STATE manifests.
+
+class Counter final : public sim::Component {
+ public:
+  void evaluate() override;
+
+ private:
+  long count_ = 0;
+  long pending_ = 0;
+  SIM_STATE_MEMBERS(count_, count_, tyop_);
+};
+
+class NoManifest final : public sim::Component {
+ public:
+  void evaluate() override;
+
+ private:
+  long level_ = 0;
+};

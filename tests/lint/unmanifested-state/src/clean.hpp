@@ -1,0 +1,45 @@
+// Fixture: near-misses the unmanifested-state rule must stay silent on.
+//  - reference members (wiring) and leading-const members (immutable
+//    configuration) are auto-exempt
+//  - a dotted owner_.member_ entry manifests foreign state and is skipped by
+//    the unknown-name check
+//  - parens inside template arguments (std::function members) are part of
+//    the type, not a function declaration
+//  - classes that do not derive from a component type need no manifest
+//  - SIM_STATE_MEMBERS_WITH_BASE's first argument is the base class
+
+class Owner {
+ public:
+  long books_ = 0;
+};
+
+class Complete final : public sim::Component {
+ public:
+  void evaluate() override;
+
+ private:
+  Owner& owner_;
+  const unsigned interval_;
+  std::function<void(long)> hook_;
+  long ticks_ = 0;
+
+  SIM_STATE_MEMBERS(ticks_, owner_.books_);
+  SIM_STATE_EXEMPT(hook_, "observer callback");
+};
+
+class Stateless final : public sim::Component {
+ public:
+  void evaluate() override;
+
+  SIM_STATE_NONE();
+};
+
+class Derived final : public txn::MasterBase {
+ public:
+  void evaluate() override;
+
+ private:
+  long extra_ = 0;
+
+  SIM_STATE_MEMBERS_WITH_BASE(txn::MasterBase, extra_);
+};

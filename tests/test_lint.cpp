@@ -7,7 +7,9 @@
 // cross-lane-deref corpus adds `rctouch.cpp`, where RC_TOUCH() attributes the
 // foreign access instead of the annotation.  tests/lint/clean/ collects
 // near-misses (static_assert, `static const`, ordered std::map iteration,
-// `override` present) that must not fire at all.
+// `override` present) that must not fire at all; the unmanifested-state
+// corpus keeps its near-misses (auto-exempt references/const, dotted foreign
+// entries, WITH_BASE base argument) in its own clean.hpp next to the rigs.
 //
 // The fixtures live under a nested src/ (and src/stbus, src/platform) so the
 // path-scoped rules see them as kernel / protocol / platform code; the
@@ -108,6 +110,10 @@ const std::vector<RuleCase>& ruleCases() {
       {"evaluate-local-static", "evaluate-local-static/src/bad.cpp", {4}},
       {"cross-lane-deref", "cross-lane-deref/src/bad.cpp", {11}},
       {"unlaned-component", "unlaned-component/src/platform/bad.cpp", {5}},
+      // Line 9: member in no manifest.  Line 10: duplicate entry and a typo'd
+      // name (two findings, one pinned location).  Line 13: a Component
+      // subclass with state but no manifest at all.
+      {"unmanifested-state", "unmanifested-state/src/bad.hpp", {9, 10, 13}},
   };
   return cases;
 }
@@ -161,4 +167,38 @@ TEST(Lint, SkipExcludesCorpus) {
       runLint("--skip tests/lint/ " + std::string(MPSOC_LINT_FIXTURES));
   EXPECT_EQ(run.exit_code, 0) << run.output;
   EXPECT_TRUE(run.findings.empty()) << run.output;
+}
+
+// --list-rules documents every rule the corpus exercises: a rule added
+// without registering it in the kRules table fails here.
+TEST(Lint, ListRulesCoversEveryExercisedRule) {
+  const LintRun run = runLint("--list-rules");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  for (const RuleCase& rc : ruleCases()) {
+    EXPECT_NE(run.output.find(std::string(rc.rule) + " - "),
+              std::string::npos)
+        << "rule '" << rc.rule << "' missing from --list-rules:\n"
+        << run.output;
+  }
+}
+
+// --json mirrors the human report as a machine-readable document: the same
+// pinned findings appear as {"file", "line", "rule"} objects, and the exit
+// code semantics are unchanged.
+TEST(Lint, JsonReportCarriesPinnedFindings) {
+  const LintRun run = runLint("--json " + fixtureDir("unmanifested-state"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("\"files\": 3"), std::string::npos) << run.output;
+  for (int line : {9, 10, 13}) {
+    const std::string needle = "\"line\": " + std::to_string(line) +
+                               ", \"rule\": \"unmanifested-state\"";
+    EXPECT_NE(run.output.find(needle), std::string::npos)
+        << needle << " not in:\n"
+        << run.output;
+  }
+  // A clean run still emits a (finding-free) document.
+  const LintRun clean = runLint("--json " + fixtureDir("clean"));
+  EXPECT_EQ(clean.exit_code, 0) << clean.output;
+  EXPECT_NE(clean.output.find("\"findings\": []"), std::string::npos)
+      << clean.output;
 }

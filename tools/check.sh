@@ -18,10 +18,16 @@
 #      lane-ownership checker (mpsoc_run --verify --racecheck) at
 #      --kernel-threads 1, 2 and 4 — any cross-lane evaluate-phase access
 #      fails the stage, and the digests must match the unchecked sweep
-#   7. ThreadSanitizer matrix: separate TSan build (tsan is incompatible with
+#   7. statecheck matrix: every shipped scenario under the
+#      checkpoint-equivalence oracle (mpsoc_run --verify --statecheck) at
+#      --kernel-threads 1, 2 and 4 — the oracle checkpoints mid-run, re-runs
+#      a window of edges after a rewind and fails the stage if any state
+#      holder's digest diverges (an incomplete SIM_STATE manifest); final
+#      digests must still match the unchecked sweep
+#   8. ThreadSanitizer matrix: separate TSan build (tsan is incompatible with
 #      asan) running every shipped scenario at --kernel-threads 2 and 4 —
 #      any data race in the sharded evaluate phase fails the stage
-#   8. clang-format --dry-run over src/ tests/ tools/ (skipped with a notice
+#   9. clang-format --dry-run over src/ tests/ tools/ (skipped with a notice
 #      when clang-format is not installed; tests/lint/ fixtures excluded)
 #
 # Usage: tools/check.sh [build-dir]     (default: build-check)
@@ -226,6 +232,47 @@ if [ "$RC_OK" -eq 1 ]; then
   done
 fi
 [ "$RC_OK" -eq 1 ] || FAILED=1
+
+stage "statecheck matrix (checkpoint-equivalence oracle at --kernel-threads 1/2/4)"
+# The MPSOC_STATECHECK oracle over every shipped scenario, fully monitored:
+# each run checkpoints at 1 us, executes a window of edges, rewinds and
+# re-executes; any diverging state digest (an incomplete SIM_STATE manifest,
+# or an evaluate() depending on un-checkpointed state) aborts the run.  The
+# oracle replays a window mid-run, so the final results must still match the
+# unchecked baseline digests bit-for-bit.
+SC_OK=1
+mkdir -p "$BUILD/statecheck-smoke"
+if [ -f "$BUILD/racecheck-smoke/base.json" ]; then
+  SB="$DB"  # reuse the unchecked baseline the racecheck stage computed
+elif "$BUILD/tools/mpsoc_run" --sweep \
+      --json "$BUILD/statecheck-smoke/base.json" \
+      "$ROOT"/tools/scenarios/*.scn > /dev/null; then
+  SB="$(grep -o '"digest": "[0-9a-f]*"' "$BUILD/statecheck-smoke/base.json")"
+else
+  echo "statecheck matrix: unchecked baseline run failed"
+  SC_OK=0
+fi
+if [ "$SC_OK" -eq 1 ]; then
+  for T in 1 2 4; do
+    if ! "$BUILD/tools/mpsoc_run" --verify --statecheck --kernel-threads "$T" \
+          --sweep --json "$BUILD/statecheck-smoke/t$T.json" \
+          "$ROOT"/tools/scenarios/*.scn > /dev/null; then
+      echo "statecheck matrix: divergence or failure at --kernel-threads $T"
+      SC_OK=0
+      break
+    fi
+    DS="$(grep -o '"digest": "[0-9a-f]*"' "$BUILD/statecheck-smoke/t$T.json")"
+    if [ -z "$DS" ] || [ "$DS" != "$SB" ]; then
+      echo "statecheck matrix: digests differ from the unchecked run at"
+      echo "threads=$T (the oracle's rewind must be invisible to results)"
+      diff <(echo "$SB") <(echo "$DS")
+      SC_OK=0
+      break
+    fi
+    echo "statecheck matrix: threads=$T oracle green, digests identical"
+  done
+fi
+[ "$SC_OK" -eq 1 ] || FAILED=1
 
 stage "tsan matrix (sharded kernel, all scenarios at --kernel-threads 2/4)"
 # ThreadSanitizer build in its own tree (tsan and asan cannot share one);

@@ -73,9 +73,30 @@
 //                       hides a popAt co-sharding requirement from — the
 //                       topology lane map that Platform::assignEvalLanes
 //                       maintains and MPSOC_RACECHECK machine-checks.
+//   unmanifested-state  every trailing-underscore data member of a Component
+//                       subclass must appear in exactly one SIM_STATE
+//                       manifest entry (SIM_STATE_MEMBERS /
+//                       SIM_STATE_MEMBERS_WITH_BASE) or carry a
+//                       SIM_STATE_EXEMPT(member, "why") — otherwise
+//                       deep-check replay rolls the edge back without it and
+//                       the MPSOC_STATECHECK checkpoint oracle silently
+//                       diverges (sim/state.hpp).  Reference and
+//                       leading-const members are auto-exempt (wiring and
+//                       immutable configuration).  Dotted entries
+//                       (b_.member_) manifest foreign state a non-Component
+//                       owner delegates to its evaluating side; they are
+//                       skipped by the unknown-name check.  Duplicate and
+//                       unknown manifest names are findings too — a typo'd
+//                       entry is state the generated save/restore never
+//                       touches.
 //
-// Usage: mpsoc_lint [--skip <substring>]... <dir-or-file>...
+// Usage: mpsoc_lint [--json] [--skip <substring>]... <dir-or-file>...
+//        mpsoc_lint --list-rules
 //        (exit 1 when any finding is reported)
+// --list-rules prints the rule registry (name + one-line rationale).
+// --json emits the findings as a machine-readable JSON document on stdout —
+// the schema is {"files": N, "findings": [{file, line, rule, message}]} —
+// for editor and CI integration; the human-readable report stays on stderr.
 // --skip drops any scanned path containing <substring> — used to exclude the
 // deliberately-dirty lint fixture corpus (tests/lint/) from whole-tree runs.
 // Suppress a finding with a trailing comment:  // mpsoc-lint: allow(<rule>)
@@ -86,6 +107,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -107,6 +129,56 @@ struct Finding {
   std::size_t line;
   std::string rule;
   std::string message;
+};
+
+/// Rule registry for --list-rules: one line per rule, kept in the order the
+/// header comment documents them.  Adding a rule without registering it here
+/// is caught by the lint self-test (tests/test_lint.cpp).
+struct RuleInfo {
+  const char* name;
+  const char* summary;
+};
+
+constexpr RuleInfo kRules[] = {
+    {"bare-assert",
+     "assert() compiles out in release builds; simulation code must use "
+     "SIM_CHECK (sim/check.hpp)"},
+    {"nondeterminism",
+     "rand()/time()/random_device/system clocks make runs unrepeatable; use "
+     "sim::Rng"},
+    {"unordered-iter",
+     "range-for over std::unordered_{map,set} visits elements in "
+     "implementation-defined order"},
+    {"missing-override",
+     "redeclaring a kernel virtual without `override` silently forks the "
+     "hierarchy"},
+    {"commit-in-evaluate",
+     "evaluate() must stage state; the kernel commits at the end of the edge"},
+    {"monitor-registration",
+     "protocol-subsystem components must be coverable by the src/verify "
+     "monitors (attachMonitors)"},
+    {"raw-txn-fifo",
+     "transaction FIFOs must live inside monitored txn::InitiatorPort / "
+     "txn::TargetPort bundles"},
+    {"idle-busy-poll",
+     "evaluate() polling a FIFO without idle()/sleep() busy-spins the kernel "
+     "and blinds runUntilIdle()"},
+    {"shared-static",
+     "mutable static storage is shared across concurrently-running "
+     "simulations (core/sweep.hpp)"},
+    {"evaluate-local-static",
+     "mutable function-local static inside evaluate() races between the "
+     "shard lanes of one simulation"},
+    {"cross-lane-deref",
+     "evaluate() dereferencing another component crosses shard-lane "
+     "ownership; RC_TOUCH or co-shard"},
+    {"unlaned-component",
+     "platform assembly constructing a component outside the lane-assignment "
+     "path hides it from the lane map"},
+    {"unmanifested-state",
+     "Component member missing from its SIM_STATE manifest: deep-check "
+     "replay and the MPSOC_STATECHECK oracle cannot restore it "
+     "(sim/state.hpp)"},
 };
 
 bool isSourceFile(const fs::path& p) {
@@ -227,6 +299,7 @@ class FileLinter {
       ++lineno;
       collectUnorderedDecls(code);
       trackEvaluateBody(code);
+      trackStateManifests(code, comment, lineno);
       if (code.find("attachMonitors") != std::string::npos) {
         has_attach_monitors_ = true;
       }
@@ -282,6 +355,12 @@ class FileLinter {
                  "' is a protocol-subsystem component but this file neither "
                  "declares nor defines attachMonitors(); wire it to the "
                  "src/verify monitors (or suppress on the class declaration)");
+    }
+    // unmanifested-state verdicts for any class scope the brace tracker did
+    // not see closed (robustness against unbalanced preprocessor branches).
+    while (!class_scopes_.empty()) {
+      finalizeClassScope(class_scopes_.back());
+      class_scopes_.pop_back();
     }
     return std::move(findings_);
   }
@@ -351,6 +430,270 @@ class FileLinter {
       } else if (c == '}') {
         if (evaluate_depth_ > 0) --evaluate_depth_;
       }
+    }
+  }
+
+  struct ManifestEntry {
+    std::string name;
+    std::size_t line;
+    bool exempt;
+    bool dotted;   // foreign state (owner_.member_): skip unknown-name check
+    bool allowed;  // allow() on the invocation line
+  };
+
+  struct ClassScope {
+    std::string name;
+    std::size_t decl_line = 0;
+    int body_depth = 0;
+    bool suppressed = false;
+    bool manifest_seen = false;
+    std::vector<std::pair<std::string, std::size_t>> members;  // name, line
+    std::set<std::string> member_allowed;
+    std::vector<ManifestEntry> entries;
+  };
+
+  /// unmanifested-state: a brace-depth class-scope tracker.  For every class
+  /// deriving from a known component type it collects (a) the
+  /// trailing-underscore data members declared directly in the class body and
+  /// (b) the entries of every SIM_STATE_* manifest macro; the verdict is
+  /// issued when the class body closes (finalizeClassScope).
+  void trackStateManifests(const std::string& code, const std::string& comment,
+                           std::size_t lineno) {
+    // Continuation of a manifest invocation that spans lines.
+    if (manifest_parens_ > 0) {
+      appendManifest(code);
+      return;
+    }
+    // Start of a manifest invocation.
+    const std::size_t mpos = code.find("SIM_STATE_");
+    if (mpos != std::string::npos &&
+        code.compare(mpos, 17, "SIM_STATE_MEMBERS") == 0) {
+      manifest_with_base_ =
+          code.compare(mpos, 27, "SIM_STATE_MEMBERS_WITH_BASE") == 0;
+      manifest_exempt_ = false;
+      manifest_line_ = lineno;
+      manifest_suppressed_ = suppressed(comment, "unmanifested-state");
+      manifest_buf_.clear();
+      appendManifest(code.substr(mpos));
+      return;
+    }
+    if (mpos != std::string::npos &&
+        code.compare(mpos, 16, "SIM_STATE_EXEMPT") == 0) {
+      manifest_with_base_ = false;
+      manifest_exempt_ = true;
+      manifest_line_ = lineno;
+      manifest_suppressed_ = suppressed(comment, "unmanifested-state");
+      manifest_buf_.clear();
+      appendManifest(code.substr(mpos));
+      return;
+    }
+    if (mpos != std::string::npos &&
+        code.compare(mpos, 14, "SIM_STATE_NONE") == 0) {
+      if (!class_scopes_.empty()) class_scopes_.back().manifest_seen = true;
+      return;
+    }
+    // A class declaration deriving from a known component type opens a
+    // tracked scope at the next '{'.  The base is matched unqualified, so
+    // `sim::Component` and `txn::MasterBase` resolve against the registry.
+    if (!class_pending_) {
+      static const std::regex decl(
+          R"(\bclass\s+((?:\w+::)*\w+)(?:\s+final)?\s*:\s*(?:public|protected|private)\s+((?:\w+::)*\w+))");
+      std::smatch m;
+      if (std::regex_search(code, m, decl)) {
+        std::string base = m[2].str();
+        if (const auto q = base.rfind("::"); q != std::string::npos) {
+          base = base.substr(q + 2);
+        }
+        if (component_types_.count(base)) {
+          class_pending_ = true;
+          pending_scope_ = ClassScope{};
+          std::string name = m[1].str();
+          if (const auto q = name.rfind("::"); q != std::string::npos) {
+            name = name.substr(q + 2);
+          }
+          pending_scope_.name = name;
+          pending_scope_.decl_line = lineno;
+          pending_scope_.suppressed = suppressed(comment, "unmanifested-state");
+        }
+      }
+    }
+    // Member collection: only lines directly at the innermost tracked class's
+    // body depth (method bodies and nested structs sit deeper).
+    if (!class_pending_ && !class_scopes_.empty() &&
+        scope_depth_ == class_scopes_.back().body_depth) {
+      collectMemberDecl(code, comment, lineno);
+    }
+    // Brace bookkeeping last, so the collection above saw the depth at the
+    // *start* of the line.
+    for (const char c : code) {
+      if (c == '{') {
+        ++scope_depth_;
+        if (class_pending_) {
+          pending_scope_.body_depth = scope_depth_;
+          class_scopes_.push_back(std::move(pending_scope_));
+          class_pending_ = false;
+        }
+      } else if (c == '}') {
+        if (!class_scopes_.empty() &&
+            scope_depth_ == class_scopes_.back().body_depth) {
+          finalizeClassScope(class_scopes_.back());
+          class_scopes_.pop_back();
+        }
+        if (scope_depth_ > 0) --scope_depth_;
+      }
+    }
+  }
+
+  /// Accumulate manifest text until the invocation's parentheses balance,
+  /// then split the argument list into entries.
+  void appendManifest(const std::string& code) {
+    for (const char c : code) {
+      if (c == '(') ++manifest_parens_;
+      manifest_buf_ += c;
+      if (c == ')') {
+        if (--manifest_parens_ == 0) break;
+      }
+    }
+    if (manifest_parens_ > 0 || manifest_buf_.empty()) return;
+    const std::size_t open = manifest_buf_.find('(');
+    const std::size_t close = manifest_buf_.rfind(')');
+    std::string args;
+    if (open != std::string::npos && close != std::string::npos &&
+        close > open) {
+      args = manifest_buf_.substr(open + 1, close - open - 1);
+    }
+    manifest_buf_.clear();
+    if (class_scopes_.empty()) return;
+    ClassScope& cs = class_scopes_.back();
+    cs.manifest_seen = true;
+    std::vector<std::string> entries;
+    std::string cur;
+    for (const char c : args) {
+      if (c == ',') {
+        entries.push_back(cur);
+        cur.clear();
+      } else if (!std::isspace(static_cast<unsigned char>(c))) {
+        cur += c;
+      }
+    }
+    entries.push_back(cur);
+    std::size_t i = 0;
+    if (manifest_with_base_) i = 1;  // first argument is the base class
+    const std::size_t last = manifest_exempt_ ? 1 : entries.size();
+    for (; i < last && i < entries.size(); ++i) {
+      if (entries[i].empty()) continue;
+      cs.entries.push_back({entries[i], manifest_line_, manifest_exempt_,
+                            entries[i].find('.') != std::string::npos,
+                            manifest_suppressed_});
+      // An allow() on the invocation also vouches for the member it names —
+      // the annotation documents one audited entry, like the declaration-site
+      // allow() of cross-lane-deref.
+      if (manifest_suppressed_) cs.member_allowed.insert(entries[i]);
+    }
+  }
+
+  /// Try to read one trailing-underscore data-member declaration from a line
+  /// at class-body depth.  References are auto-exempt (wiring), leading
+  /// `const` is auto-exempt (immutable configuration), and anything that
+  /// looks like a function, alias or initializer-list line is skipped.
+  void collectMemberDecl(const std::string& code, const std::string& comment,
+                         std::size_t lineno) {
+    static const std::regex skip_start(
+        R"(^\s*(?:using\b|typedef\b|friend\b|static\b|template\b|enum\b|struct\b|class\b|const\b|:|#|public\s*:|protected\s*:|private\s*:))");
+    if (std::regex_search(code, skip_start)) return;
+    static const std::regex cand(R"((\w+_)\s*[;={,])");
+    // Position of the first '(' at angle-bracket depth zero: a paren inside
+    // template arguments (std::function<void(X)> cb_;) is part of a member's
+    // type, one outside them marks a function declaration or a constructor
+    // initializer list.
+    std::size_t first_paren = std::string::npos;
+    int angle = 0;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      if (code[i] == '<') ++angle;
+      if (code[i] == '>' && angle > 0) --angle;
+      if (code[i] == '(' && angle == 0) {
+        first_paren = i;
+        break;
+      }
+    }
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), cand);
+         it != std::sregex_iterator(); ++it) {
+      const std::size_t pos = static_cast<std::size_t>(it->position(1));
+      if (first_paren < pos) continue;
+      // Walk back over whitespace to the token that precedes the name: a
+      // data member always has its type (or a '*'/',' declarator separator)
+      // there.  A name that opens the line is an initializer-list fragment.
+      std::size_t k = pos;
+      while (k > 0 &&
+             std::isspace(static_cast<unsigned char>(code[k - 1]))) {
+        --k;
+      }
+      if (k == 0) continue;
+      const char prev = code[k - 1];
+      if (prev == '&') continue;  // reference member: wiring, auto-exempt
+      if (!(std::isalnum(static_cast<unsigned char>(prev)) || prev == '_' ||
+            prev == '>' || prev == '*' || prev == ']' || prev == ',')) {
+        continue;
+      }
+      ClassScope& cs = class_scopes_.back();
+      const std::string name = (*it)[1].str();
+      if (suppressed(comment, "unmanifested-state")) {
+        cs.member_allowed.insert(name);
+      }
+      cs.members.emplace_back(name, lineno);
+    }
+  }
+
+  void finalizeClassScope(const ClassScope& cs) {
+    if (!kernel_code_ || cs.suppressed) return;
+    if (!cs.manifest_seen) {
+      if (cs.members.empty()) return;  // stateless class: no manifest needed
+      std::string preview;
+      for (std::size_t i = 0; i < cs.members.size() && i < 3; ++i) {
+        if (!preview.empty()) preview += ", ";
+        preview += "'" + cs.members[i].first + "'";
+      }
+      if (cs.members.size() > 3) preview += ", ...";
+      report(cs.decl_line, "unmanifested-state",
+             "'" + cs.name + "' is a Component subclass with " +
+                 std::to_string(cs.members.size()) + " stateful member(s) (" +
+                 preview +
+                 ") but no SIM_STATE manifest; declare SIM_STATE_MEMBERS / "
+                 "SIM_STATE_EXEMPT / SIM_STATE_NONE (sim/state.hpp) so "
+                 "deep-check replay and the MPSOC_STATECHECK oracle can "
+                 "save and restore it");
+      return;
+    }
+    std::map<std::string, std::size_t> counts;  // name -> occurrences
+    std::set<std::string> member_names;
+    for (const auto& [name, line] : cs.members) member_names.insert(name);
+    for (const auto& e : cs.entries) {
+      if (e.dotted) continue;  // foreign state owned by a non-Component
+      const std::size_t n = ++counts[e.name];
+      if (e.allowed) continue;
+      if (n == 2) {
+        report(e.line, "unmanifested-state",
+               "duplicate manifest entry '" + e.name + "' in '" + cs.name +
+                   "': a member must appear in exactly one SIM_STATE_MEMBERS "
+                   "list or SIM_STATE_EXEMPT");
+      }
+      if (n == 1 && !member_names.count(e.name)) {
+        report(e.line, "unmanifested-state",
+               "manifest entry '" + e.name + "' names no member of '" +
+                   cs.name +
+                   "' (typo? state of a non-Component owner must be listed "
+                   "as a dotted owner_.member_ path)");
+      }
+    }
+    for (const auto& [name, line] : cs.members) {
+      if (counts.count(name) || cs.member_allowed.count(name)) continue;
+      report(line, "unmanifested-state",
+             "member '" + name + "' of '" + cs.name +
+                 "' is in no SIM_STATE manifest; deep-check replay and the "
+                 "MPSOC_STATECHECK oracle cannot restore it — add it to "
+                 "SIM_STATE_MEMBERS or document the exemption with "
+                 "SIM_STATE_EXEMPT(" +
+                 name + ", \"why\")");
     }
   }
 
@@ -570,6 +913,7 @@ class FileLinter {
     std::string type;
   };
 
+
   std::string path_;
   bool kernel_code_;
   bool protocol_file_ = false;
@@ -595,22 +939,67 @@ class FileLinter {
   std::set<std::string> unordered_names_;
   bool in_evaluate_ = false;
   int evaluate_depth_ = 0;
+  // unmanifested-state trackers.
+  std::vector<ClassScope> class_scopes_;
+  ClassScope pending_scope_;
+  bool class_pending_ = false;
+  int scope_depth_ = 0;
+  std::string manifest_buf_;
+  int manifest_parens_ = 0;
+  bool manifest_with_base_ = false;
+  bool manifest_exempt_ = false;
+  bool manifest_suppressed_ = false;
+  std::size_t manifest_line_ = 0;
 };
+
+/// JSON string escaping for the --json report.
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> skips;
   std::vector<fs::path> roots;
+  bool want_json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--skip") == 0 && i + 1 < argc) {
       skips.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      want_json = true;
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const RuleInfo& r : kRules) {
+        std::cout << r.name << " - " << r.summary << "\n";
+      }
+      return 0;
     } else {
       roots.emplace_back(argv[i]);
     }
   }
   if (roots.empty()) {
-    std::cerr << "usage: mpsoc_lint [--skip <substring>]... <dir-or-file>...\n";
+    std::cerr << "usage: mpsoc_lint [--json] [--skip <substring>]... "
+                 "<dir-or-file>...\n"
+                 "       mpsoc_lint --list-rules\n";
     return 2;
   }
   const auto skipped = [&](const fs::path& p) {
@@ -654,11 +1043,24 @@ int main(int argc, char** argv) {
     std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
               << f.message << "\n";
   }
+  if (want_json) {
+    std::cout << "{\n  \"files\": " << files.size() << ",\n  \"findings\": [";
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      std::cout << (i == 0 ? "\n" : ",\n")
+                << "    {\"file\": \"" << jsonEscape(all[i].file)
+                << "\", \"line\": " << all[i].line << ", \"rule\": \""
+                << jsonEscape(all[i].rule) << "\", \"message\": \""
+                << jsonEscape(all[i].message) << "\"}";
+    }
+    std::cout << (all.empty() ? "]\n}\n" : "\n  ]\n}\n");
+  }
   if (!all.empty()) {
     std::cerr << all.size() << " finding(s) in " << files.size()
               << " file(s)\n";
     return 1;
   }
-  std::cout << "mpsoc_lint: " << files.size() << " files clean\n";
+  if (!want_json) {
+    std::cout << "mpsoc_lint: " << files.size() << " files clean\n";
+  }
   return 0;
 }

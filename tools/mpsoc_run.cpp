@@ -16,6 +16,15 @@
 //                   evaluate-phase access aborts with exit code 1.  Valid —
 //                   and equally effective — at any --kernel-threads value,
 //                   including the default serial kernel
+//   --statecheck    run the checkpoint-equivalence oracle on every platform:
+//                   checkpoint mid-run, execute a window of edges, rewind,
+//                   re-execute, and abort with exit code 1 naming the first
+//                   diverging state holder if the digests differ (requires a
+//                   build with MPSOC_STATECHECK=ON; warns and runs unchecked
+//                   otherwise)
+//   --checkpoint-at <ps>
+//                   instant the statecheck oracle checkpoints at (default
+//                   1000000 = 1 us)
 //   --no-gating     disable kernel activity gating (evaluate every component
 //                   on every edge).  Digests must not change — the check.sh
 //                   kernel-perf smoke diffs gated vs. ungated runs with this
@@ -46,6 +55,7 @@
 #include "core/digest.hpp"
 #include "core/export.hpp"
 #include "core/sweep.hpp"
+#include "platform/feature_gates.hpp"
 #include "platform/scenario_parser.hpp"
 #include "stats/report.hpp"
 
@@ -55,7 +65,8 @@ namespace {
 
 void usage() {
   std::cerr << "usage: mpsoc_run [--csv] [--json <path|->] [--normalize N] "
-               "[--verify] [--racecheck] [--no-gating] [--kernel-threads N] "
+               "[--verify] [--racecheck] [--statecheck] [--checkpoint-at ps] "
+               "[--no-gating] [--kernel-threads N] "
                "[--sweep] [-j N] scenario.scn [...]\n";
 }
 
@@ -66,6 +77,8 @@ int main(int argc, char** argv) {
   bool want_sweep = false;
   bool want_verify = false;
   bool want_racecheck = false;
+  bool want_statecheck = false;
+  long long checkpoint_at = -1;  // -1 = keep the scenario/config default
   bool no_gating = false;
   long kernel_threads = -1;  // -1 = keep each scenario's own setting
   std::string json_path;
@@ -82,10 +95,10 @@ int main(int argc, char** argv) {
       want_verify = true;
     } else if (std::strcmp(argv[i], "--racecheck") == 0) {
       want_racecheck = true;
-#if !MPSOC_RACECHECK
-      std::cerr << "warning: --racecheck requested but this build has "
-                   "MPSOC_RACECHECK=OFF; running unchecked\n";
-#endif
+    } else if (std::strcmp(argv[i], "--statecheck") == 0) {
+      want_statecheck = true;
+    } else if (std::strcmp(argv[i], "--checkpoint-at") == 0 && i + 1 < argc) {
+      checkpoint_at = std::stoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--no-gating") == 0) {
       no_gating = true;
     } else if (std::strcmp(argv[i], "--kernel-threads") == 0 && i + 1 < argc) {
@@ -119,10 +132,18 @@ int main(int argc, char** argv) {
     }
     if (want_verify) sc.config.verify = true;
     if (want_racecheck) sc.config.racecheck = true;
+    if (want_statecheck) sc.config.statecheck = true;
+    if (checkpoint_at >= 0) {
+      sc.config.statecheck_at_ps = static_cast<sim::Picos>(checkpoint_at);
+    }
     if (no_gating) sc.config.activity_gating = false;
     if (kernel_threads >= 0) {
       sc.config.kernel_threads = static_cast<unsigned>(kernel_threads);
     }
+    // One warning path for every compile-gated checker, covering both the
+    // CLI flags above and checkers requested by the scenario file itself.
+    const std::string warn = platform::compiledOutWarning(sc.config);
+    if (!warn.empty()) std::cerr << warn << " (" << sc.name << ")\n";
     points.push_back(core::SweepPoint{sc.name, sc.config, 0});
   }
 
