@@ -2,6 +2,7 @@
 
 #include "sim/check.hpp"
 #include <cmath>
+#include <unordered_set>
 
 namespace mpsoc::noc {
 
@@ -20,13 +21,18 @@ class NocMesh::MasterAdapter final : public sim::Component {
         at_(at), egress_(egress) {}
 
   void evaluate() override {
-    // Deliver arrived responses to the master.  A node hosting both a master
-    // and a slave shares its egress FIFO: each adapter consumes only packets
-    // of its own kind.
+    // Deliver arrived responses to the master.  A node hosting several
+    // adapters shares its egress FIFO: each adapter consumes only response
+    // packets for requests it injected (outstanding_), leaving request
+    // packets and co-located masters' responses at the head for their owner
+    // (all of a node's adapters share one eval lane, so the owner drains the
+    // head on this or the next edge).
     while (!egress_.empty() &&
            egress_.front()->kind == NocPacket::Kind::Response &&
+           outstanding_.count(egress_.front()->req->id) != 0 &&
            port_.rsp.canPush()) {
       NocPacketPtr pkt = egress_.pop();
+      outstanding_.erase(pkt->req->id);
       auto rsp = std::make_shared<txn::Response>();
       rsp->req = pkt->req;
       rsp->beats = pkt->req->op == Opcode::Read ? pkt->req->beats : 1;
@@ -44,6 +50,8 @@ class NocMesh::MasterAdapter final : public sim::Component {
       pkt->src = at_;
       pkt->dst = mesh_.routeAddr(r->addr);
       pkt->flits = NocPacket::requestFlits(*r);
+      // Posted writes produce no response packet (see SlaveAdapter).
+      if (!(r->posted && r->op == Opcode::Write)) outstanding_.insert(r->id);
       local_in.push(pkt);
     }
   }
@@ -52,13 +60,16 @@ class NocMesh::MasterAdapter final : public sim::Component {
     return egress_.empty() && port_.req.empty();
   }
 
+  NodeId at() const { return at_; }
+
  private:
   NocMesh& mesh_;
   txn::InitiatorPort& port_;
   NodeId at_;
   Router::PacketFifo& egress_;
+  std::unordered_set<std::uint64_t> outstanding_;
 
-  SIM_STATE_NONE();
+  SIM_STATE_MEMBERS(outstanding_);
   SIM_STATE_EXEMPT(at_, "immutable configuration (node id)");
 };
 
@@ -110,6 +121,8 @@ class NocMesh::SlaveAdapter final : public sim::Component {
   bool idle() const override {
     return egress_.empty() && port_.rsp.empty() && origin_.empty();
   }
+
+  NodeId at() const { return at_; }
 
  private:
   NocMesh& mesh_;
@@ -189,6 +202,17 @@ void NocMesh::attachSlave(txn::TargetPort& port, NodeId at, std::uint64_t base,
   slaves_.push_back(std::make_unique<SlaveAdapter>(
       clk_, name_ + ".sa" + std::to_string(at), *this, port, at,
       *egress_[at]));
+}
+
+std::uint32_t NocMesh::assignEvalLanes(std::uint32_t first_lane) {
+  for (std::size_t i = 0; i < routers_.size(); ++i) {
+    routers_[i]->setEvalLane(first_lane + static_cast<std::uint32_t>(i));
+  }
+  adapter_lane_base_ =
+      first_lane + static_cast<std::uint32_t>(routers_.size());
+  for (auto& m : masters_) m->setEvalLane(adapterLane(m->at()));
+  for (auto& s : slaves_) s->setEvalLane(adapterLane(s->at()));
+  return adapter_lane_base_ + static_cast<std::uint32_t>(routers_.size());
 }
 
 std::uint64_t NocMesh::totalHops() const {

@@ -19,6 +19,7 @@ enum class Topology : std::uint8_t {
   Full,         ///< multi-layer reference platform (Fig. 1)
   Collapsed,    ///< N5 (the most congested cluster) folded into central N8
   SingleLayer,  ///< every actor directly on one central node
+  NocMesh,      ///< every actor on a W x H packet-switched mesh (outlook)
 };
 
 enum class MemoryKind : std::uint8_t {
@@ -40,6 +41,7 @@ inline const char* toString(Topology t) {
     case Topology::Full: return "full";
     case Topology::Collapsed: return "collapsed";
     case Topology::SingleLayer: return "single-layer";
+    case Topology::NocMesh: return "noc-mesh";
   }
   return "?";
 }
@@ -53,6 +55,23 @@ struct PlatformConfig {
   mem::LmiConfig lmi{};
   /// Depth of the memory-interface request FIFO (the Fig. 6 input FIFO).
   std::size_t mem_fifo_depth = 8;
+
+  /// Mesh dimensions for Topology::NocMesh (ignored otherwise).  The memory
+  /// sits at the centre node; masters are placed round-robin over the
+  /// remaining nodes in workload order.
+  unsigned noc_width = 3;
+  unsigned noc_height = 3;
+
+  /// Keep only the first N IP cores of the reference workload (0 = all).
+  /// The scenario fuzzer's shrinker uses this as its "drop masters" axis;
+  /// it also makes hand-written minimal reproducers possible.
+  unsigned master_limit = 0;
+
+  /// ST220 clock (MHz).  The default 400 gives the paper's 400:250 ratio to
+  /// the central node; off-grid values (e.g. 313) exercise the non-integer
+  /// CDC paths the fuzzer targets.  Ignored when the DSP sits directly on
+  /// the central node (single-layer / NoC topologies).
+  double cpu_mhz = 400.0;
 
   /// Add an on-chip scratchpad SRAM on the central node covering the DSP's
   /// code/data region, so the ST220 stops competing for the off-chip memory

@@ -21,7 +21,19 @@ Platform::Platform(PlatformConfig cfg) : cfg_(cfg) {
     phases_.addPhase("phase2", cfg_.phase1_end_ps, cfg_.phase2_end_ps);
   }
 
-  central_ = makeBus(*clk_n8_, "n8", /*is_central=*/true);
+  if (cfg_.topology == Topology::NocMesh) {
+    // Packet-fabric outlook: every actor sits on a W x H mesh in the central
+    // clock domain; XY routing replaces the bus/bridge hierarchy.  The
+    // platform protocol still shapes the *masters* (outstanding capability,
+    // posted writes) so protocol x fabric interactions stay explorable.
+    noc::MeshConfig mc;
+    mc.width = cfg_.noc_width;
+    mc.height = cfg_.noc_height;
+    mc.router.message_locking = cfg_.message_arbitration;
+    mesh_ = std::make_unique<noc::NocMesh>(*clk_n8_, "noc", mc);
+  } else {
+    central_ = makeBus(*clk_n8_, "n8", /*is_central=*/true);
+  }
   buildMemory();
   buildClusters();
   buildTraffic();
@@ -62,6 +74,23 @@ void Platform::assignEvalLanes() {
   // from (most edges are single-domain, so domain-granular sharding alone
   // would serialize them).
   std::uint32_t next = 0;
+
+  if (mesh_) {
+    // Packet fabric: each router owns a lane (all its FIFO ends are
+    // single-producer/single-consumer across lanes); a node's adapters share
+    // a per-node lane (they co-mutate the node's Local input and egress
+    // FIFOs).  The LMI pops the request FIFO its slave adapter pushes *out
+    // of order* (popAt), so it joins the memory node's adapter lane; the
+    // in-order on-chip memory and every master are lane-free.
+    next = mesh_->assignEvalLanes(0);
+    if (lmi_) lmi_->setEvalLane(mesh_->adapterLane(nocMemNode()));
+    if (onchip_) onchip_->setEvalLane(next++);
+    for (auto& g : iptgs_) g->setEvalLane(next++);
+    if (cpu_) cpu_->setEvalLane(next++);
+    if (dma_) dma_->setEvalLane(next++);
+    return;
+  }
+
   const bool axi = cfg_.protocol == Protocol::Axi;
   auto initiatorLane = [&](std::uint32_t bus_lane) {
     return axi ? bus_lane : next++;
@@ -119,7 +148,10 @@ void Platform::assignEvalLanes() {
 
 void Platform::attachVerification() {
   verify::VerifyContext& ctx = *verify_;
-  central_->attachMonitors(ctx);
+  // NoC platforms have no bus to monitor — the port-level target monitors
+  // and the conservation auditor below still cover the memory contract and
+  // transaction accounting end-to-end across the fabric.
+  if (central_) central_->attachMonitors(ctx);
   for (auto& c : clusters_) c.bus->attachMonitors(ctx);
   if (cpu_node_) cpu_node_->attachMonitors(ctx);
   if (mem_node_) mem_node_->attachMonitors(ctx);
@@ -215,8 +247,49 @@ iptg::IptgConfig Platform::adaptConfig(iptg::IptgConfig cfg,
   return cfg;
 }
 
+noc::NodeId Platform::nocMemNode() const {
+  // Centre node: minimises (and equalises) hop distance under XY routing.
+  return mesh_->node(cfg_.noc_width / 2, cfg_.noc_height / 2);
+}
+
+noc::NodeId Platform::nocMasterNode(std::size_t i) const {
+  // Round-robin over every node except the memory's, in attach order.
+  const std::size_t nodes = mesh_->routerCount();
+  auto id = static_cast<noc::NodeId>(i % (nodes - 1));
+  if (id >= nocMemNode()) ++id;
+  return id;
+}
+
+void Platform::attachNocMaster(txn::InitiatorPort& port) {
+  mesh_->attachMaster(port, nocMasterNode(noc_masters_attached_));
+  ++noc_masters_attached_;
+}
+
 void Platform::buildMemory() {
   const bool native_stbus = cfg_.protocol == Protocol::Stbus;
+
+  if (mesh_) {
+    // NoC topology: the memory model hangs off a slave adapter at the centre
+    // node — no converter bridge, the adapter is the fabric interface.  Both
+    // memory kinds work unmodified: the LMI's out-of-order service is
+    // invisible to the adapter (responses return tagged by request id).
+    tports_.push_back(std::make_unique<txn::TargetPort>(
+        *clk_n8_, cfg_.memory == MemoryKind::Lmi ? "lmi" : "mem",
+        cfg_.mem_fifo_depth, 16));
+    mem_port_ = tports_.back().get();
+    mesh_->attachSlave(*mem_port_, nocMemNode(), kMemBase, kMemSize);
+    if (cfg_.memory == MemoryKind::Lmi) {
+      lmi_ = std::make_unique<mem::LmiController>(*clk_n8_, "lmi", *mem_port_,
+                                                  cfg_.lmi);
+    } else {
+      onchip_ = std::make_unique<mem::SimpleMemory>(
+          *clk_n8_, "onchip", *mem_port_,
+          mem::SimpleMemoryConfig{cfg_.onchip_wait_states});
+    }
+    mem_fifo_probe_.attach(mem_port_->req,
+                           cfg_.two_phase_workload ? &phases_ : nullptr);
+    return;
+  }
 
   if (cfg_.include_scratchpad) {
     // Registered before the main memory: first matching region wins, so the
@@ -284,7 +357,11 @@ void Platform::buildClusters() {
   static constexpr Spec kSpecs[] = {
       {"N1", 200.0, 4}, {"N5", 200.0, 8}, {"N2", 133.0, 4}};
 
-  if (cfg_.topology == Topology::SingleLayer) return;  // no satellite layers
+  // Single-layer and NoC topologies have no satellite layers.
+  if (cfg_.topology == Topology::SingleLayer ||
+      cfg_.topology == Topology::NocMesh) {
+    return;
+  }
 
   for (const auto& s : kSpecs) {
     if (cfg_.topology == Topology::Collapsed && std::string(s.name) == "N5") {
@@ -315,9 +392,14 @@ Platform::Cluster* Platform::clusterFor(const std::string& name) {
 }
 
 void Platform::buildTraffic() {
-  const auto specs = referenceWorkload(
+  auto specs = referenceWorkload(
       cfg_.workload_scale, cfg_.two_phase_workload, cfg_.phase1_end_ps,
       cfg_.phase2_end_ps, cfg_.seed, cfg_.use_case);
+  if (cfg_.master_limit > 0 && specs.size() > cfg_.master_limit) {
+    // The fuzz shrinker's "drop masters" axis: keep the first N IPs in
+    // workload order (deterministic for a given use case).
+    specs.resize(cfg_.master_limit);
+  }
   for (const auto& ip : specs) {
     Cluster* c = nullptr;
     if (cfg_.topology == Topology::Full) {
@@ -326,12 +408,15 @@ void Platform::buildTraffic() {
       c = clusterFor(ip.cluster);  // null for N5 -> lands on central
     }
     sim::ClockDomain* clk = c ? c->clk : clk_n8_;
-    txn::InterconnectBase* bus = c ? c->bus.get() : central_.get();
     const std::uint32_t width = c ? c->width : kCentralWidth;
 
     iports_.push_back(
         std::make_unique<txn::InitiatorPort>(*clk, ip.name, 2, 8));
-    bus->addInitiator(*iports_.back());
+    if (mesh_) {
+      attachNocMaster(*iports_.back());
+    } else {
+      (c ? c->bus.get() : central_.get())->addInitiator(*iports_.back());
+    }
     iptgs_.push_back(std::make_unique<iptg::Iptg>(
         *clk, ip.name, *iports_.back(), adaptConfig(ip.cfg, width)));
   }
@@ -360,18 +445,24 @@ void Platform::buildCpu() {
                                std::llround(6'000 * cfg_.workload_scale));
   if (cfg_.protocol == Protocol::Ahb) cc.posted_writebacks = false;
 
-  if (cfg_.topology == Topology::SingleLayer) {
-    // Flattened: the DSP sits directly on the central node in its domain.
+  if (cfg_.topology == Topology::SingleLayer ||
+      cfg_.topology == Topology::NocMesh) {
+    // Flattened: the DSP sits directly on the central node (or its own mesh
+    // node) in the central clock domain.
     cc.bytes_per_beat = kCentralWidth;
     iports_.push_back(
         std::make_unique<txn::InitiatorPort>(*clk_n8_, "st220", 2, 8));
-    central_->addInitiator(*iports_.back());
+    if (mesh_) {
+      attachNocMaster(*iports_.back());
+    } else {
+      central_->addInitiator(*iports_.back());
+    }
     cpu_ = std::make_unique<cpu::St220>(*clk_n8_, "st220", *iports_.back(),
                                         cc);
     return;
   }
 
-  clk_cpu_ = &sim_.addClockDomain("st220", 400.0);
+  clk_cpu_ = &sim_.addClockDomain("st220", cfg_.cpu_mhz);
   cc.bytes_per_beat = 4;
   iports_.push_back(
       std::make_unique<txn::InitiatorPort>(*clk_cpu_, "st220", 2, 8));
@@ -392,7 +483,11 @@ void Platform::buildCpu() {
 void Platform::buildDma() {
   iports_.push_back(
       std::make_unique<txn::InitiatorPort>(*clk_n8_, "ts_dma", 2, 8));
-  central_->addInitiator(*iports_.back());
+  if (mesh_) {
+    attachNocMaster(*iports_.back());
+  } else {
+    central_->addInitiator(*iports_.back());
+  }
   dma::DmaConfig dc;
   dc.bytes_per_beat = kCentralWidth;
   dc.burst_beats = 16;

@@ -30,6 +30,7 @@
 #include "iptg/iptg.hpp"
 #include "mem/lmi_controller.hpp"
 #include "mem/simple_memory.hpp"
+#include "noc/mesh.hpp"
 #include "platform/config.hpp"
 #include "platform/workloads.hpp"
 #include "sim/simulator.hpp"
@@ -88,6 +89,8 @@ class Platform {
     return bridges_;
   }
   txn::InterconnectBase* centralBus() { return central_.get(); }
+  /// The packet fabric, or nullptr unless Topology::NocMesh.
+  const noc::NocMesh* nocMesh() const { return mesh_.get(); }
 
   /// The protocol-monitor / conservation-audit registry, or nullptr when the
   /// platform was built without `cfg.verify`.
@@ -134,6 +137,13 @@ class Platform {
   /// everything else gets its own lane.  Called once, after construction.
   void assignEvalLanes();
 
+  /// NoC topology helpers: the memory's node and the mesh node the i-th
+  /// master lands on (round-robin over the non-memory nodes).
+  noc::NodeId nocMemNode() const;
+  noc::NodeId nocMasterNode(std::size_t i) const;
+  /// Attach `port` as the next NoC master (placement follows attach order).
+  void attachNocMaster(txn::InitiatorPort& port);
+
   PlatformConfig cfg_;
   sim::Simulator sim_;
   std::unique_ptr<verify::VerifyContext> verify_;
@@ -141,6 +151,8 @@ class Platform {
   sim::ClockDomain* clk_cpu_ = nullptr;
   std::vector<Cluster> clusters_;
   std::unique_ptr<txn::InterconnectBase> central_;
+  std::unique_ptr<noc::NocMesh> mesh_;
+  std::size_t noc_masters_attached_ = 0;
 
   std::vector<std::unique_ptr<txn::InitiatorPort>> iports_;
   std::vector<std::unique_ptr<txn::TargetPort>> tports_;

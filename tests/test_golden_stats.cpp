@@ -104,6 +104,7 @@ const std::vector<GoldenCase>& goldenCases() {
        [] { return runScenarioFile("fig5_collapsed_axi.scn"); }},
       {"record_use_case",
        [] { return runScenarioFile("record_use_case.scn"); }},
+      {"noc_mesh", [] { return runScenarioFile("noc_mesh.scn"); }},
       {"fig3_small", runFig3Small},
       {"fig4_small", runFig4Small},
       {"fig5_small", runFig5Small},

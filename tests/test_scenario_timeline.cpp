@@ -37,6 +37,11 @@ outstanding_override = 2
 burst_override = 4
 include_cpu = false
 two_phase = true
+duration_ps = 500000000
+noc_width = 4
+noc_height = 2
+master_limit = 3
+cpu_mhz = 312.5
 seed = 77
 )");
   EXPECT_EQ(sc.name, "my-scenario");
@@ -59,6 +64,11 @@ seed = 77
   EXPECT_EQ(c.agent_burst_override_beats, 4u);
   EXPECT_FALSE(c.include_cpu);
   EXPECT_TRUE(c.two_phase_workload);
+  EXPECT_EQ(sc.duration_ps, 500'000'000u);
+  EXPECT_EQ(c.noc_width, 4u);
+  EXPECT_EQ(c.noc_height, 2u);
+  EXPECT_EQ(c.master_limit, 3u);
+  EXPECT_DOUBLE_EQ(c.cpu_mhz, 312.5);
   EXPECT_EQ(c.seed, 77u);
 }
 

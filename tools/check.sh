@@ -24,10 +24,15 @@
 #      a window of edges after a rewind and fails the stage if any state
 #      holder's digest diverges (an incomplete SIM_STATE manifest); final
 #      digests must still match the unchecked sweep
-#   8. ThreadSanitizer matrix: separate TSan build (tsan is incompatible with
+#   8. fuzz smoke: a bounded seeded campaign (mpsoc_fuzz, 50 cases at
+#      --threads 1,2) — generator determinism is asserted by diffing two
+#      --emit passes, then the monitored campaign gates on violations,
+#      invariant trips and cross-thread digest divergence, auto-shrinking
+#      any failure to a minimal reproducer
+#   9. ThreadSanitizer matrix: separate TSan build (tsan is incompatible with
 #      asan) running every shipped scenario at --kernel-threads 2 and 4 —
 #      any data race in the sharded evaluate phase fails the stage
-#   9. clang-format --dry-run over src/ tests/ tools/ (skipped with a notice
+#  10. clang-format --dry-run over src/ tests/ tools/ (skipped with a notice
 #      when clang-format is not installed; tests/lint/ fixtures excluded)
 #
 # Usage: tools/check.sh [build-dir]     (default: build-check)
@@ -273,6 +278,39 @@ if [ "$SC_OK" -eq 1 ]; then
   done
 fi
 [ "$SC_OK" -eq 1 ] || FAILED=1
+
+stage "fuzz smoke (seeded campaign, 50 cases at --threads 1,2)"
+# Bounded deterministic fuzz campaign: a fixed seed, so a failure here is a
+# regression, never noise.  Two --emit passes must print byte-identical
+# scenario sets (generator determinism); the campaign itself runs every case
+# fully monitored at kernel-threads 1 and 2, gating on monitor violations,
+# invariant trips and cross-thread digest divergence, and delta-debugs any
+# failure down to a minimal reproducer under $BUILD/fuzz-smoke/corpus.
+FZ_OK=1
+mkdir -p "$BUILD/fuzz-smoke"
+if ! "$BUILD/tools/mpsoc_fuzz" --seed 2026 --count 50 --emit \
+      > "$BUILD/fuzz-smoke/emit1.txt" || \
+   ! "$BUILD/tools/mpsoc_fuzz" --seed 2026 --count 50 --emit \
+      > "$BUILD/fuzz-smoke/emit2.txt"; then
+  echo "fuzz smoke: generator run failed"
+  FZ_OK=0
+elif ! diff "$BUILD/fuzz-smoke/emit1.txt" "$BUILD/fuzz-smoke/emit2.txt" \
+      > /dev/null; then
+  echo "fuzz smoke: two --emit passes of the same seed differ (the"
+  echo "generator must be a pure function of seed and index)"
+  FZ_OK=0
+fi
+if [ "$FZ_OK" -eq 1 ]; then
+  if "$BUILD/tools/mpsoc_fuzz" --seed 2026 --count 50 --threads 1,2 \
+        --corpus-dir "$BUILD/fuzz-smoke/corpus"; then
+    echo "fuzz smoke: 50 cases clean"
+  else
+    echo "fuzz smoke: campaign found a failure (minimal reproducer and"
+    echo "replay command above; corpus under $BUILD/fuzz-smoke/corpus)"
+    FZ_OK=0
+  fi
+fi
+[ "$FZ_OK" -eq 1 ] || FAILED=1
 
 stage "tsan matrix (sharded kernel, all scenarios at --kernel-threads 2/4)"
 # ThreadSanitizer build in its own tree (tsan and asan cannot share one);

@@ -144,7 +144,9 @@ int main(int argc, char** argv) {
     // CLI flags above and checkers requested by the scenario file itself.
     const std::string warn = platform::compiledOutWarning(sc.config);
     if (!warn.empty()) std::cerr << warn << " (" << sc.name << ")\n";
-    points.push_back(core::SweepPoint{sc.name, sc.config, 0});
+    // Scenario files may pin a fixed simulated duration (two-phase
+    // workloads are unbounded and require one).
+    points.push_back(core::SweepPoint{sc.name, sc.config, sc.duration_ps});
   }
 
   core::SweepOptions opts;
