@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/fastforward.hpp"
 #include "txn/master.hpp"
 
 namespace mpsoc::dma {
@@ -39,7 +40,7 @@ struct DmaConfig {
   std::uint8_t priority = 1;
 };
 
-class DmaEngine final : public txn::MasterBase {
+class DmaEngine final : public txn::MasterBase, public sim::LtAgent {
  public:
   DmaEngine(sim::ClockDomain& clk, std::string name, txn::InitiatorPort& port,
             DmaConfig cfg);
@@ -61,6 +62,18 @@ class DmaEngine final : public txn::MasterBase {
   void setCompletionCallback(std::function<void(const DmaDescriptor&)> cb) {
     on_complete_ = std::move(cb);
   }
+
+  // Loosely-timed copy path (fast-forward mode): whole descriptors are
+  // skipped analytically, but only from a clean engine state (no reads in
+  // flight, empty copy buffer, no partially read descriptor) — the slice
+  // machinery is never touched mid-flight.  Completion callbacks still fire.
+  // LT-EQUIV: tests/test_fastforward.cpp (FfHandoffOracle digest gate)
+  sim::LtDemand ltPlan(sim::Picos now, sim::Picos quantum,
+                       sim::Picos route_latency_ps) override;
+  sim::LtDemand ltCommit(sim::Picos now, sim::Picos quantum,
+                         const sim::LtDemand& planned,
+                         std::uint64_t granted_bytes) override;
+  bool ltDone() const override { return done(); }
 
  protected:
   void onResponse(const txn::ResponsePtr& rsp) override;
@@ -100,6 +113,8 @@ class DmaEngine final : public txn::MasterBase {
   std::uint64_t bytes_copied_ = 0;
   std::uint64_t descs_done_ = 0;
   std::function<void(const DmaDescriptor&)> on_complete_;
+  /// Descriptors of the pending LT plan (quantum-scoped scratch).
+  std::uint64_t lt_plan_descs_ = 0;
 
   SIM_STATE_MEMBERS_WITH_BASE(txn::MasterBase, chain_, desc_idx_,
                               read_offset_, write_queue_, pending_reads_,
@@ -107,6 +122,7 @@ class DmaEngine final : public txn::MasterBase {
                               reads_inflight_, bytes_copied_, descs_done_);
   SIM_STATE_EXEMPT(cfg_, "immutable configuration");
   SIM_STATE_EXEMPT(on_complete_, "observer callback");
+  SIM_STATE_EXEMPT(lt_plan_descs_, "quantum-scoped fast-forward plan scratch");
 };
 
 }  // namespace mpsoc::dma

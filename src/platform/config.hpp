@@ -155,6 +155,29 @@ struct PlatformConfig {
   sim::Picos statecheck_at_ps = 1'000'000;  // 1 us into the run
   std::uint64_t statecheck_edges = 2000;
 
+  /// Multi-abstraction fast-forward (see DESIGN.md "Multi-abstraction
+  /// execution" and src/sim/fastforward.hpp): run the warm-up region
+  /// [now, ff_until_ps) under the loosely-timed quantum engine — analytic
+  /// latency/bandwidth per route, no cycle-accurate edges — then hand off to
+  /// the accurate model through a checkpoint/restore boundary and continue
+  /// normally.  0 disables fast-forward.  LT statistics are reported
+  /// separately (ltIssued()/ltBytes*) and never enter the canonical result
+  /// digest.
+  sim::Picos ff_until_ps = 0;
+  /// Temporal-decoupling quantum of the LT engine: demand is planned,
+  /// arbitrated against the bottleneck-channel byte budget and committed once
+  /// per quantum.  Smaller quanta track phase boundaries and quota exhaustion
+  /// more closely; larger quanta fast-forward faster.
+  sim::Picos ff_quantum_ps = 1'000'000;  // 1 us
+  /// Handoff-equivalence oracle: after the fast-forward handoff, execute
+  /// `ff_check_edges` accurate edges from the handoff checkpoint, digest,
+  /// rewind, re-execute and assert bit-identical digests — proving the
+  /// accurate region after a fast-forward is a pure function of the handoff
+  /// state.  Unlike `statecheck` this oracle is always compiled in (the
+  /// fast-forward path is exactly where restore bugs surface).
+  bool ff_check = false;
+  std::uint64_t ff_check_edges = 2000;
+
   /// Kernel activity gating (see Simulator::setActivityGating): skip
   /// evaluate() for components that declared themselves quiescent.  On by
   /// default; behaviour-neutral by contract (sleep is only legal while

@@ -33,6 +33,7 @@
 #include "noc/mesh.hpp"
 #include "platform/config.hpp"
 #include "platform/workloads.hpp"
+#include "sim/fastforward.hpp"
 #include "sim/simulator.hpp"
 #include "stats/probes.hpp"
 #include "stbus/node.hpp"
@@ -96,6 +97,13 @@ class Platform {
   /// platform was built without `cfg.verify`.
   verify::VerifyContext* verifyContext() { return verify_.get(); }
 
+  /// Loosely-timed fast-forward statistics, or nullptr when the run had no
+  /// fast-forward region (cfg.ff_until_ps == 0 or already past).  Approximate
+  /// by construction — excluded from the canonical result digest.
+  const sim::FastForwardStats* ffStats() const {
+    return ff_ ? &ff_->stats() : nullptr;
+  }
+
  private:
   struct Cluster {
     std::string name;
@@ -131,6 +139,19 @@ class Platform {
   /// digests differ.  The run then continues normally from the end of the
   /// window.  No-op when MPSOC_STATECHECK is compiled out.
   void statecheckOracle();
+  /// Assemble the loosely-timed engine: one route per master (cluster bus ->
+  /// uplink bridge -> central node -> memory path, per topology) with the
+  /// memory controller as the shared bottleneck channel.  Called lazily on
+  /// the first fast-forward request.
+  void buildFastForward();
+  /// Fast-forward to `until` under the LT engine, then hand off to the
+  /// cycle-accurate model through a checkpoint/restore boundary.  Runs the
+  /// ff_check handoff-equivalence oracle when configured.
+  void fastForward(sim::Picos until);
+  /// Handoff-equivalence oracle (cfg_.ff_check): from the handoff state,
+  /// execute cfg_.ff_check_edges edges and digest, rewind, re-execute and
+  /// assert bit-identical digests.  Always compiled in (unlike statecheck).
+  void ffHandoffOracle();
   /// Partition the platform into evaluate-phase shard lanes for the
   /// multi-threaded kernel (see Simulator::setKernelThreads).  Components
   /// that pop each other's FIFOs out of order mid-edge are co-sharded;
@@ -170,6 +191,7 @@ class Platform {
 
   stats::PhaseSchedule phases_;
   stats::FifoStateProbe mem_fifo_probe_;
+  std::unique_ptr<sim::FastForward> ff_;
 };
 
 }  // namespace mpsoc::platform

@@ -4,7 +4,7 @@
 
 namespace mpsoc::platform {
 
-std::string validateConfig(const PlatformConfig& cfg) {
+std::string validateConfig(const PlatformConfig& cfg, sim::Picos duration_ps) {
   // Workload shaping: a non-positive scale never terminates (zero quotas are
   // clamped to "done immediately" for some agents but not the CPU bundle),
   // and an absurd scale only tests the host's patience.
@@ -67,6 +67,39 @@ std::string validateConfig(const PlatformConfig& cfg) {
 
   if (cfg.statecheck && cfg.statecheck_edges < 1) {
     return "statecheck_edges must be >= 1";
+  }
+  if (cfg.statecheck && cfg.statecheck_at_ps < 1) {
+    return "statecheck_at_ps must be >= 1 (a checkpoint at t=0 captures the "
+           "cold-start state and checks nothing)";
+  }
+  if (cfg.statecheck && duration_ps > 0 && cfg.statecheck_at_ps >= duration_ps) {
+    std::ostringstream os;
+    os << "statecheck_at_ps (" << cfg.statecheck_at_ps
+       << ") is at or past the run duration (" << duration_ps
+       << " ps) — the oracle would silently never fire";
+    return os.str();
+  }
+
+  // Fast-forward: a zero instant is "disabled" spelled as a request, and an
+  // instant at/past the horizon would silently skip the entire accurate
+  // region — both are configuration mistakes, not degenerate no-ops.
+  if (cfg.ff_until_ps > 0 && cfg.ff_quantum_ps < 1) {
+    return "ff_quantum_ps must be >= 1 when fast-forward is enabled";
+  }
+  if (cfg.ff_until_ps > 0 && duration_ps > 0 &&
+      cfg.ff_until_ps >= duration_ps) {
+    std::ostringstream os;
+    os << "ff_until_ps (" << cfg.ff_until_ps
+       << ") is at or past the run duration (" << duration_ps
+       << " ps) — nothing would be simulated accurately; lower it or drop "
+          "fast-forward";
+    return os.str();
+  }
+  if (cfg.ff_check && cfg.ff_until_ps == 0) {
+    return "ff_check requires fast-forward (set ff_until_ps > 0)";
+  }
+  if (cfg.ff_check && cfg.ff_check_edges < 1) {
+    return "ff_check_edges must be >= 1";
   }
   return {};
 }

@@ -1,0 +1,108 @@
+#include "sim/fastforward.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/check.hpp"
+#include "sim/simulator.hpp"
+
+namespace mpsoc::sim {
+
+namespace {
+
+/// floor(a * b / c) without overflow for 64-bit operands (c > 0, b <= c).
+std::uint64_t scale64(std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  return static_cast<std::uint64_t>(
+      static_cast<unsigned __int128>(a) * b / c);
+}
+
+}  // namespace
+
+FastForward::FastForward(Simulator& sim, Picos quantum_ps)
+    : sim_(sim), quantum_ps_(quantum_ps) {
+  SIM_CHECK(quantum_ps_ >= 1,
+            "fast-forward quantum must be >= 1 ps (got " << quantum_ps_
+                                                         << ")");
+}
+
+void FastForward::addRoute(LtAgent* agent,
+                           std::vector<const LtChannel*> channels) {
+  SIM_CHECK(agent != nullptr, "fast-forward route requires an agent");
+  Route r;
+  r.agent = agent;
+  for (const LtChannel* ch : channels) {
+    SIM_CHECK(ch != nullptr, "fast-forward route holds a null channel");
+    r.latency_ps += ch->ltLatencyPs();
+    const double bw = ch->ltBytesPerPs();
+    if (bw > 0 && (r.bytes_per_ps == 0 || bw < r.bytes_per_ps)) {
+      r.bytes_per_ps = bw;
+    }
+  }
+  routes_.push_back(r);
+}
+
+void FastForward::setBottleneck(const LtChannel* ch) { bottleneck_ = ch; }
+
+void FastForward::runTo(Picos until) {
+  const Picos start = sim_.now();
+  SIM_CHECK(until >= start, "fast-forward target "
+                                << until << " ps precedes current time "
+                                << start << " ps");
+  if (until == start) return;
+
+  std::vector<LtDemand> plans(routes_.size());
+  Picos now = start;
+  while (now < until) {
+    const Picos q = std::min<Picos>(quantum_ps_, until - now);
+
+    // Plan phase: per-route demand, clipped to the route's own bandwidth.
+    std::uint64_t total_bytes = 0;
+    for (std::size_t i = 0; i < routes_.size(); ++i) {
+      Route& r = routes_[i];
+      plans[i] = LtDemand{};
+      if (r.agent->ltDone()) continue;
+      LtDemand d = r.agent->ltPlan(now, q, r.latency_ps);
+      if (r.bytes_per_ps > 0) {
+        const auto cap = static_cast<std::uint64_t>(
+            r.bytes_per_ps * static_cast<double>(q));
+        d.bytes = std::min(d.bytes, cap);
+      }
+      plans[i] = d;
+      total_bytes += d.bytes;
+    }
+
+    // Grant phase: proportional share of the bottleneck byte budget.
+    std::uint64_t budget = std::numeric_limits<std::uint64_t>::max();
+    if (bottleneck_ != nullptr) {
+      const double bw = bottleneck_->ltBytesPerPs();
+      if (bw > 0) {
+        budget = static_cast<std::uint64_t>(bw * static_cast<double>(q));
+      }
+    }
+
+    // Commit phase, in registration order (deterministic).
+    for (std::size_t i = 0; i < routes_.size(); ++i) {
+      const LtDemand& d = plans[i];
+      if (d.bytes == 0 && d.transactions == 0) continue;
+      const std::uint64_t granted =
+          (total_bytes <= budget || total_bytes == 0)
+              ? d.bytes
+              : scale64(d.bytes, budget, total_bytes);
+      const LtDemand done =
+          routes_[i].agent->ltCommit(now, q, d, granted);
+      stats_.lt_bytes += done.bytes;
+      stats_.lt_transactions += done.transactions;
+    }
+
+    ++stats_.quanta;
+    now += q;
+  }
+
+  stats_.skipped_ps += until - start;
+  // One kernel-grid advance for the whole region: clock domains land on the
+  // original coincident-edge grid and components get their onFastForward()
+  // re-anchor hook (see Simulator::fastForwardTo).
+  sim_.fastForwardTo(until);
+}
+
+}  // namespace mpsoc::sim

@@ -70,15 +70,48 @@ class Watchdog final : public Component {
   /// kernel runs it on the main thread after the lane barrier.
   bool serialEvaluate() const override { return true; }
 
+  /// Restore-path re-baseline: `last_progress_` is a reading of the progress
+  /// sampler, not state the watchdog owns.  Restoring the manifested value
+  /// into a kernel whose activity counters rewound (a fresh simulator
+  /// instance, or a fast-forwarded region whose traffic never hit the
+  /// accurate counters) leaves the first check comparing against a baseline
+  /// the sampler can no longer reproduce — the stall window silently resets.
+  /// Re-sample at the restored/fast-forwarded instant instead.
+  void onRestore() override { last_progress_ = progress_(); }
+  void onFastForward(Picos) override { last_progress_ = progress_(); }
+
+  // Manual state hooks instead of SIM_STATE_MEMBERS: all three members are
+  // saved and restored, but `last_progress_` stays out of the digest canon —
+  // it is re-derived by onRestore(), so the two statecheck passes legally
+  // hold different readings whenever no check lands inside the compared
+  // window.  checks_ and fired_ remain canonical.
+  bool saveState() override {
+    saveStateBase();
+    state::saveMembers(sim_state_snap_, last_progress_, checks_, fired_);
+    return true;
+  }
+  void restoreState() override {
+    restoreStateBase();
+    state::restoreMembers(sim_state_snap_, last_progress_, checks_, fired_);
+  }
+  std::uint64_t stateDigest() const override {
+    state::Digest d;
+    digestStateBase(d);
+    state::digestMembers(d, checks_, fired_);
+    return d.value();
+  }
+
  private:
   ProgressFn progress_;
   AlarmFn alarm_;
   Cycle interval_;
-  std::uint64_t last_progress_ = 0;
-  std::uint64_t checks_ = 0;
-  bool fired_ = false;
+  // The manual save/restore/digest hooks above manage these four — the
+  // manifest macros cannot express "restored but not digested".
+  std::uint64_t last_progress_ = 0;  // mpsoc-lint: allow(unmanifested-state)
+  std::uint64_t checks_ = 0;         // mpsoc-lint: allow(unmanifested-state)
+  bool fired_ = false;               // mpsoc-lint: allow(unmanifested-state)
+  state::SnapshotSlot sim_state_snap_;  // mpsoc-lint: allow(unmanifested-state)
 
-  SIM_STATE_MEMBERS(last_progress_, checks_, fired_);
   SIM_STATE_EXEMPT(progress_, "observer callback (progress sampler)");
   SIM_STATE_EXEMPT(alarm_, "observer callback");
   SIM_STATE_EXEMPT(interval_, "immutable configuration");

@@ -1,0 +1,7 @@
+#pragma once
+// Fixture: the allow() annotation on the first hook suppresses the finding.
+
+struct AllowedLtModel {
+  long ltLatencyPs() const { return 42; }  // mpsoc-lint: allow(lt-equiv-tag)
+  long ltBytesPerPs() const { return 0; }
+};

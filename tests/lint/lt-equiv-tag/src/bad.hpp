@@ -1,0 +1,8 @@
+#pragma once
+// Fixture: implements a loosely-timed fast-forward hook but cites no
+// equivalence evidence anywhere in the file.
+
+struct BadLtModel {
+  long ltLatencyPs() const { return 42; }
+  long ltBytesPerPs() const { return 0; }
+};

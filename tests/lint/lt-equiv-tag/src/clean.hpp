@@ -1,0 +1,13 @@
+#pragma once
+// Fixture: the hooks are present and the file cites its equivalence
+// evidence, so the rule stays silent.
+//
+// LT-EQUIV: tests/test_fastforward.cpp (FfHandoffOracle digest gate)
+
+struct CleanLtModel {
+  long ltLatencyPs() const { return 42; }
+  long ltBytesPerPs() const { return 0; }
+  bool ltPlan(long quantum_ps) { return quantum_ps > 0; }
+  void ltCommit(long) {}
+  bool ltDone() const { return true; }
+};

@@ -114,6 +114,10 @@ const std::vector<RuleCase>& ruleCases() {
       // name (two findings, one pinned location).  Line 13: a Component
       // subclass with state but no manifest at all.
       {"unmanifested-state", "unmanifested-state/src/bad.hpp", {9, 10, 13}},
+      // Line 6: first loosely-timed hook in a file with no LT-EQUIV: tag.
+      // The allowed.hpp / clean.hpp twins (annotation, evidence tag) must
+      // both stay silent.
+      {"lt-equiv-tag", "lt-equiv-tag/src/bad.hpp", {6}},
   };
   return cases;
 }

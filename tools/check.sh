@@ -24,15 +24,22 @@
 #      a window of edges after a rewind and fails the stage if any state
 #      holder's digest diverges (an incomplete SIM_STATE manifest); final
 #      digests must still match the unchecked sweep
-#   8. fuzz smoke: a bounded seeded campaign (mpsoc_fuzz, 50 cases at
+#   8. fast-forward matrix: every shipped scenario with the warm-up region
+#      under the loosely-timed quantum engine (mpsoc_run
+#      --fast-forward-until 100000000 --ff-check) at --kernel-threads 1, 2
+#      and 4 — the in-run handoff-equivalence oracle gates the
+#      checkpoint/restore boundary, and the digests must be bit-identical
+#      across thread counts; the warm-up cost harness then writes
+#      BENCH_ff.json and gates the LT speedup at >= 5x
+#   9. fuzz smoke: a bounded seeded campaign (mpsoc_fuzz, 50 cases at
 #      --threads 1,2) — generator determinism is asserted by diffing two
 #      --emit passes, then the monitored campaign gates on violations,
 #      invariant trips and cross-thread digest divergence, auto-shrinking
 #      any failure to a minimal reproducer
-#   9. ThreadSanitizer matrix: separate TSan build (tsan is incompatible with
+#  10. ThreadSanitizer matrix: separate TSan build (tsan is incompatible with
 #      asan) running every shipped scenario at --kernel-threads 2 and 4 —
 #      any data race in the sharded evaluate phase fails the stage
-#  10. clang-format --dry-run over src/ tests/ tools/ (skipped with a notice
+#  11. clang-format --dry-run over src/ tests/ tools/ (skipped with a notice
 #      when clang-format is not installed; tests/lint/ fixtures excluded)
 #
 # Usage: tools/check.sh [build-dir]     (default: build-check)
@@ -278,6 +285,61 @@ if [ "$SC_OK" -eq 1 ]; then
   done
 fi
 [ "$SC_OK" -eq 1 ] || FAILED=1
+
+stage "fast-forward matrix (LT handoff digest gate + warm-up speedup)"
+# The loosely-timed quantum engine over every shipped scenario: [0, 100 us)
+# fast-forwarded, then the checkpoint/restore handoff, the in-run
+# handoff-equivalence oracle (--ff-check: step a window from the handoff,
+# digest, rewind, re-step, compare) and the accurate remainder.  LT
+# statistics never enter the canonical digest and commit stays serial in
+# slot order, so the digests must be bit-identical at --kernel-threads 1, 2
+# and 4.  The protocol monitors stay off here: the LT warm-up legitimately
+# bypasses the cycle-accurate buses they watch (ctest and the stages above
+# cover the monitored paths).  The warm-up cost harness then writes
+# BENCH_ff.json; the speedup on the warm-up region gates at >= 5x (the
+# sanitizer build inflates both sides of the ratio roughly equally).
+FF_OK=1
+mkdir -p "$BUILD/ff-smoke"
+FF_REF=""
+for T in 1 2 4; do
+  if ! "$BUILD/tools/mpsoc_run" --ff-check \
+        --fast-forward-until 100000000 --kernel-threads "$T" \
+        --sweep --json "$BUILD/ff-smoke/t$T.json" \
+        "$ROOT"/tools/scenarios/*.scn > /dev/null; then
+    echo "ff matrix: handoff-oracle or run failure at --kernel-threads $T"
+    FF_OK=0
+    break
+  fi
+  DF="$(grep -o '"digest": "[0-9a-f]*"' "$BUILD/ff-smoke/t$T.json")"
+  if [ -z "$FF_REF" ]; then
+    FF_REF="$DF"
+  elif [ "$DF" != "$FF_REF" ]; then
+    echo "ff matrix: digests differ from the serial FF run at threads=$T"
+    echo "(the LT handoff must be bit-exact whatever the thread count)"
+    diff <(echo "$FF_REF") <(echo "$DF")
+    FF_OK=0
+    break
+  fi
+  echo "ff matrix: threads=$T handoff oracle green, digests identical"
+done
+if [ "$FF_OK" -eq 1 ]; then
+  if "$BUILD/bench/bench_ff_warmup" --json "$BUILD/BENCH_ff.json" \
+        > /dev/null; then
+    SPEEDUP="$(grep -o '"speedup": [0-9.e+-]*' "$BUILD/BENCH_ff.json" | \
+               sed 's/.*: //')"
+    if awk "BEGIN { exit !(${SPEEDUP:-0} >= 5.0) }"; then
+      echo "ff warm-up speedup: ${SPEEDUP}x (gate: >= 5x)"
+      echo "wrote $BUILD/BENCH_ff.json"
+    else
+      echo "ff warm-up speedup: ${SPEEDUP:-0}x is below the 5x gate"
+      FF_OK=0
+    fi
+  else
+    echo "ff warm-up: bench_ff_warmup failed"
+    FF_OK=0
+  fi
+fi
+[ "$FF_OK" -eq 1 ] || FAILED=1
 
 stage "fuzz smoke (seeded campaign, 50 cases at --threads 1,2)"
 # Bounded deterministic fuzz campaign: a fixed seed, so a failure here is a

@@ -89,6 +89,16 @@
 //                       unknown manifest names are findings too — a typo'd
 //                       entry is state the generated save/restore never
 //                       touches.
+//   lt-equiv-tag        a file implementing the loosely-timed fast-forward
+//                       hooks (ltPlan/ltCommit/ltDone/ltLatencyPs/
+//                       ltBytesPerPs — sim/fastforward.hpp) must cite the
+//                       equivalence evidence that pins its analytic shortcut
+//                       to the cycle-accurate model: an "LT-EQUIV:" comment
+//                       naming the digest gate covering the handoff.  An LT
+//                       path nobody cross-checks silently drifts from the
+//                       timed model it abstracts.  The engine itself
+//                       (sim/fastforward.{hpp,cpp}) is exempt — it is what
+//                       the evidence measures against.
 //
 // Usage: mpsoc_lint [--json] [--skip <substring>]... <dir-or-file>...
 //        mpsoc_lint --list-rules
@@ -179,6 +189,9 @@ constexpr RuleInfo kRules[] = {
      "Component member missing from its SIM_STATE manifest: deep-check "
      "replay and the MPSOC_STATECHECK oracle cannot restore it "
      "(sim/state.hpp)"},
+    {"lt-equiv-tag",
+     "loosely-timed fast-forward hooks must cite their LT-EQUIV: equivalence "
+     "evidence (sim/fastforward.hpp)"},
 };
 
 bool isSourceFile(const fs::path& p) {
@@ -263,6 +276,16 @@ class FileLinter {
     is_ports_header_ = path_.size() >= ports.size() &&
                        path_.compare(path_.size() - ports.size(),
                                      ports.size(), ports) == 0;
+    // The lt-equiv-tag rule exempts the fast-forward engine itself: the
+    // LtChannel/LtAgent protocol and the quantum engine are what the
+    // equivalence evidence measures against, not an implementation of it.
+    for (const char* ff : {"sim/fastforward.hpp", "sim/fastforward.cpp"}) {
+      const std::string s = ff;
+      if (path_.size() >= s.size() &&
+          path_.compare(path_.size() - s.size(), s.size(), s) == 0) {
+        is_ff_engine_ = true;
+      }
+    }
     // Component-type registry for the cross-lane-deref / unlaned-component
     // rules: the kernel bases plus this repo's concrete component classes
     // (collectComponentDecls adds any subclass declared in the scanned file
@@ -310,6 +333,13 @@ class FileLinter {
           code.find("assignEvalLanes") != std::string::npos) {
         has_lane_assignment_ = true;
       }
+      // The LT-EQUIV evidence tag conventionally lives in a comment, so it
+      // is searched in the stripped-out comment text (and in code, for the
+      // rare tag hoisted into a macro or identifier).
+      if (comment.find("LT-EQUIV:") != std::string::npos ||
+          code.find("LT-EQUIV:") != std::string::npos) {
+        has_lt_equiv_tag_ = true;
+      }
       checkLine(code, comment, lineno);
     }
     // cross-lane-deref verdict: deferred to end of file because both exits —
@@ -347,6 +377,16 @@ class FileLinter {
              "input must report idle (so runUntilIdle() can stop) and should "
              "sleep on empty (so activity gating can skip it) — see "
              "sim/component.hpp");
+    }
+    if (first_lt_hook_line_ != 0 && !has_lt_equiv_tag_ &&
+        !lt_rule_suppressed_) {
+      report(first_lt_hook_line_, "lt-equiv-tag",
+             "this file implements loosely-timed fast-forward hooks but "
+             "cites no equivalence evidence; add an \"LT-EQUIV: <test> "
+             "(<gate>)\" comment naming the digest gate that pins the LT "
+             "shortcut to the cycle-accurate model (e.g. LT-EQUIV: "
+             "tests/test_fastforward.cpp (FfHandoffOracle digest gate)), or "
+             "audit and allow()");
     }
     if (first_component_line_ != 0 && !has_attach_monitors_ &&
         !monitor_rule_suppressed_) {
@@ -833,6 +873,18 @@ class FileLinter {
       }
     }
 
+    // lt-equiv-tag: remember the first loosely-timed hook implementation;
+    // the verdict is issued at end of file, once it is known whether the
+    // file carries an LT-EQUIV: evidence tag anywhere.
+    if (kernel_code_ && !is_ff_engine_ && first_lt_hook_line_ == 0) {
+      static const std::regex lt_hook(
+          R"(\blt(?:Plan|Commit|Done|LatencyPs|BytesPerPs)\s*\()");
+      if (std::regex_search(code, lt_hook)) {
+        if (suppressed(comment, "lt-equiv-tag")) lt_rule_suppressed_ = true;
+        first_lt_hook_line_ = lineno;
+      }
+    }
+
     // idle-busy-poll: FIFO data polls inside evaluate() bodies.  The verdict
     // is issued at end of file, once it is known whether the file overrides
     // idle() or calls sleep() anywhere (both count as participating in the
@@ -935,6 +987,11 @@ class FileLinter {
   std::size_t first_poll_line_ = 0;
   bool has_idle_or_sleep_ = false;
   bool poll_rule_suppressed_ = false;
+  // lt-equiv-tag trackers.
+  bool is_ff_engine_ = false;
+  std::size_t first_lt_hook_line_ = 0;
+  bool has_lt_equiv_tag_ = false;
+  bool lt_rule_suppressed_ = false;
   std::vector<Finding> findings_;
   std::set<std::string> unordered_names_;
   bool in_evaluate_ = false;

@@ -24,7 +24,23 @@
 //                   otherwise)
 //   --checkpoint-at <ps>
 //                   instant the statecheck oracle checkpoints at (default
-//                   1000000 = 1 us)
+//                   1000000 = 1 us).  0 or an instant at/past the scenario's
+//                   duration is rejected — the oracle would silently never
+//                   fire
+//   --fast-forward-until <ps>
+//                   run [0, ps) under the loosely-timed quantum engine
+//                   (analytic latency/bandwidth, no cycle-accurate edges),
+//                   then hand off to the accurate model through a
+//                   checkpoint/restore boundary and continue normally.  LT
+//                   statistics are reported separately and never enter the
+//                   canonical digest.  0 or an instant at/past the scenario's
+//                   duration is rejected
+//   --quantum <ps>  temporal-decoupling quantum of the fast-forward engine
+//                   (default 1000000 = 1 us)
+//   --ff-check      after the fast-forward handoff, run the
+//                   handoff-equivalence oracle: execute a window of edges
+//                   from the handoff checkpoint, digest, rewind, re-execute,
+//                   and abort with exit code 1 if the digests differ
 //   --no-gating     disable kernel activity gating (evaluate every component
 //                   on every edge).  Digests must not change — the check.sh
 //                   kernel-perf smoke diffs gated vs. ungated runs with this
@@ -57,6 +73,7 @@
 #include "core/sweep.hpp"
 #include "platform/feature_gates.hpp"
 #include "platform/scenario_parser.hpp"
+#include "platform/validate.hpp"
 #include "stats/report.hpp"
 
 using namespace mpsoc;
@@ -66,6 +83,7 @@ namespace {
 void usage() {
   std::cerr << "usage: mpsoc_run [--csv] [--json <path|->] [--normalize N] "
                "[--verify] [--racecheck] [--statecheck] [--checkpoint-at ps] "
+               "[--fast-forward-until ps] [--quantum ps] [--ff-check] "
                "[--no-gating] [--kernel-threads N] "
                "[--sweep] [-j N] scenario.scn [...]\n";
 }
@@ -79,6 +97,9 @@ int main(int argc, char** argv) {
   bool want_racecheck = false;
   bool want_statecheck = false;
   long long checkpoint_at = -1;  // -1 = keep the scenario/config default
+  long long ff_until = -1;       // -1 = keep the scenario/config default
+  long long ff_quantum = -1;     // -1 = keep the scenario/config default
+  bool want_ff_check = false;
   bool no_gating = false;
   long kernel_threads = -1;  // -1 = keep each scenario's own setting
   std::string json_path;
@@ -99,6 +120,13 @@ int main(int argc, char** argv) {
       want_statecheck = true;
     } else if (std::strcmp(argv[i], "--checkpoint-at") == 0 && i + 1 < argc) {
       checkpoint_at = std::stoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--fast-forward-until") == 0 &&
+               i + 1 < argc) {
+      ff_until = std::stoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--quantum") == 0 && i + 1 < argc) {
+      ff_quantum = std::stoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--ff-check") == 0) {
+      want_ff_check = true;
     } else if (std::strcmp(argv[i], "--no-gating") == 0) {
       no_gating = true;
     } else if (std::strcmp(argv[i], "--kernel-threads") == 0 && i + 1 < argc) {
@@ -120,6 +148,23 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  // An explicit 0 is indistinguishable from "disabled" once it lands in the
+  // config, so the silent-no-op instants are rejected at the flag itself.
+  if (ff_until == 0) {
+    std::cerr << "error: --fast-forward-until 0 would fast-forward nothing "
+                 "(the flag expects a positive instant in ps)\n";
+    return 2;
+  }
+  if (ff_until < -1 || checkpoint_at < -1) {
+    std::cerr << "error: instants must be positive picosecond values\n";
+    return 2;
+  }
+  if (checkpoint_at == 0) {
+    std::cerr << "error: --checkpoint-at 0 would checkpoint the cold-start "
+                 "state and check nothing (the flag expects a positive "
+                 "instant in ps)\n";
+    return 2;
+  }
 
   std::vector<core::SweepPoint> points;
   for (const auto& path : files) {
@@ -139,6 +184,19 @@ int main(int argc, char** argv) {
     if (no_gating) sc.config.activity_gating = false;
     if (kernel_threads >= 0) {
       sc.config.kernel_threads = static_cast<unsigned>(kernel_threads);
+    }
+    if (ff_until > 0) sc.config.ff_until_ps = static_cast<sim::Picos>(ff_until);
+    if (ff_quantum >= 0) {
+      sc.config.ff_quantum_ps = static_cast<sim::Picos>(ff_quantum);
+    }
+    if (want_ff_check) sc.config.ff_check = true;
+    // CLI overrides can invalidate a scenario that parsed cleanly (e.g. a
+    // fast-forward instant at/past the scenario's duration): re-validate.
+    const std::string why =
+        platform::validateConfig(sc.config, sc.duration_ps);
+    if (!why.empty()) {
+      std::cerr << "error: scenario '" << sc.name << "': " << why << "\n";
+      return 1;
     }
     // One warning path for every compile-gated checker, covering both the
     // CLI flags above and checkers requested by the scenario file itself.
